@@ -1,0 +1,32 @@
+// Shared helpers for the figure/table harnesses.
+#pragma once
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "experiments/report.h"
+#include "experiments/runner.h"
+#include "workloads/workload.h"
+
+namespace unimem::bench {
+
+/// The paper's base configuration: class C input, 4 ranks, 1 rank/node,
+/// 8 MiB DRAM allowance (= 256 MB scaled), 10 iterations.
+inline exp::RunConfig base_config(const std::string& workload) {
+  exp::RunConfig cfg;
+  cfg.workload = workload;
+  cfg.wcfg.cls = 'C';
+  cfg.wcfg.iterations = 10;
+  cfg.wcfg.nranks = 4;
+  cfg.ranks_per_node = 1;
+  cfg.dram_capacity = 8 * kMiB;
+  return cfg;
+}
+
+/// NPB kernels in the paper's presentation order (Figs. 2/3/9/10).
+inline std::vector<std::string> npb() {
+  return {"cg", "ft", "bt", "lu", "sp", "mg"};
+}
+
+}  // namespace unimem::bench

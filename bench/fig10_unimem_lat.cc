@@ -1,0 +1,31 @@
+// Figure 10: DRAM-only vs NVM-only vs X-Men vs Unimem, NVM at 4x DRAM
+// latency.  Expected shape (paper): average NVM-only gap ~47%; Unimem
+// within ~7% of DRAM-only on average, <= 10% per benchmark.
+#include "bench_common.h"
+
+int main() {
+  using namespace unimem;
+  exp::Report rep(
+      "Fig. 10: policies at NVM = 4x DRAM latency (normalized to DRAM-only)");
+  rep.set_header({"benchmark", "NVM-only", "X-Men", "Unimem"});
+  std::vector<std::string> all = bench::npb();
+  all.push_back("nek");
+  for (const std::string& w : all) {
+    exp::RunConfig cfg = bench::base_config(w);
+    cfg.nvm_bw_ratio = 1.0;
+    cfg.nvm_lat_mult = 4.0;
+    cfg.policy = exp::Policy::kDramOnly;
+    double dram = exp::run_once(cfg).time_s;
+    cfg.policy = exp::Policy::kNvmOnly;
+    double nvm = exp::run_once(cfg).time_s;
+    cfg.policy = exp::Policy::kXMen;
+    double xmen = exp::run_once(cfg).time_s;
+    cfg.policy = exp::Policy::kUnimem;
+    double uni = exp::run_once(cfg).time_s;
+    rep.add_row({w, exp::Report::num(nvm / dram, 2),
+                 exp::Report::num(xmen / dram, 2),
+                 exp::Report::num(uni / dram, 2)});
+  }
+  rep.print();
+  return 0;
+}

@@ -1,0 +1,31 @@
+// Figure 12: CG strong scaling (the paper's Edison runs, class D input,
+// NUMA-emulated NVM = 0.6x DRAM bandwidth + 1.89x DRAM latency).
+// Expected shape (paper): Unimem stays within ~7% of DRAM-only at every
+// scale while NVM-only keeps a visible gap; per-rank data shrinks with
+// scale, shifting object sensitivities.
+#include "bench_common.h"
+
+int main() {
+  using namespace unimem;
+  exp::Report rep(
+      "Fig. 12: CG strong scaling, NUMA-emulated NVM (normalized to DRAM-only)");
+  rep.set_header({"ranks", "NVM-only", "Unimem", "Unimem migrations"});
+  for (int ranks : {2, 4, 8, 16}) {
+    exp::RunConfig cfg = bench::base_config("cg");
+    cfg.wcfg.cls = 'D';
+    cfg.wcfg.nranks = ranks;
+    cfg.nvm_bw_ratio = 0.60;   // the paper's NUMA emulation
+    cfg.nvm_lat_mult = 1.89;
+    cfg.policy = exp::Policy::kDramOnly;
+    double dram = exp::run_once(cfg).time_s;
+    cfg.policy = exp::Policy::kNvmOnly;
+    double nvm = exp::run_once(cfg).time_s;
+    cfg.policy = exp::Policy::kUnimem;
+    exp::RunResult uni = exp::run_once(cfg);
+    rep.add_row({std::to_string(ranks), exp::Report::num(nvm / dram, 2),
+                 exp::Report::num(uni.time_s / dram, 2),
+                 std::to_string(uni.total_migrations)});
+  }
+  rep.print();
+  return 0;
+}

@@ -1,0 +1,25 @@
+// Figure 2: NVM-only execution time vs NVM bandwidth (1/2, 1/4, 1/8 of
+// DRAM), normalized to DRAM-only.  Expected shape (paper): clear slowdowns
+// growing as bandwidth shrinks; LU among the worst (2.19x at 1/2 BW).
+#include "bench_common.h"
+
+int main() {
+  using namespace unimem;
+  exp::Report rep("Fig. 2: NVM-only slowdown vs bandwidth (normalized to DRAM-only)");
+  rep.set_header({"benchmark", "1/2 BW", "1/4 BW", "1/8 BW"});
+  for (const std::string& w : bench::npb()) {
+    exp::RunConfig cfg = bench::base_config(w);
+    cfg.policy = exp::Policy::kDramOnly;
+    double dram = exp::run_once(cfg).time_s;
+    std::vector<std::string> row{w};
+    for (double ratio : {0.5, 0.25, 0.125}) {
+      cfg.policy = exp::Policy::kNvmOnly;
+      cfg.nvm_bw_ratio = ratio;
+      cfg.nvm_lat_mult = 1.0;
+      row.push_back(exp::Report::num(exp::run_once(cfg).time_s / dram, 2));
+    }
+    rep.add_row(row);
+  }
+  rep.print();
+  return 0;
+}

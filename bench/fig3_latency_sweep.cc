@@ -1,0 +1,25 @@
+// Figure 3: NVM-only execution time vs NVM latency (2x, 4x, 8x DRAM),
+// normalized to DRAM-only.  Expected shape (paper): slowdowns grow with
+// latency; LU ~2.14x already at 2x.
+#include "bench_common.h"
+
+int main() {
+  using namespace unimem;
+  exp::Report rep("Fig. 3: NVM-only slowdown vs latency (normalized to DRAM-only)");
+  rep.set_header({"benchmark", "2x lat", "4x lat", "8x lat"});
+  for (const std::string& w : bench::npb()) {
+    exp::RunConfig cfg = bench::base_config(w);
+    cfg.policy = exp::Policy::kDramOnly;
+    double dram = exp::run_once(cfg).time_s;
+    std::vector<std::string> row{w};
+    for (double mult : {2.0, 4.0, 8.0}) {
+      cfg.policy = exp::Policy::kNvmOnly;
+      cfg.nvm_bw_ratio = 1.0;
+      cfg.nvm_lat_mult = mult;
+      row.push_back(exp::Report::num(exp::run_once(cfg).time_s / dram, 2));
+    }
+    rep.add_row(row);
+  }
+  rep.print();
+  return 0;
+}

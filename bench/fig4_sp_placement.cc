@@ -1,0 +1,49 @@
+// Figure 4: impact of per-object placement on SP.  For each NVM config
+// (1/2 bandwidth or 4x latency) and input class, place ONE object set in
+// DRAM (in_buffer+out_buffer, lhs, or rhs) and compare against DRAM-only
+// and NVM-only.
+//
+// Expected shape (paper Observation 3): the buffers help under the
+// bandwidth configuration but not the latency one; lhs helps under the
+// latency configuration but not the bandwidth one; rhs helps under both.
+#include "bench_common.h"
+
+int main() {
+  using namespace unimem;
+  struct NvmCfg {
+    const char* name;
+    double bw, lat;
+  };
+  const NvmCfg nvms[] = {{"1/2 bandwidth", 0.5, 1.0}, {"4x latency", 1.0, 4.0}};
+  const std::vector<std::pair<std::string, std::vector<std::string>>> sets = {
+      {"in+out buffer", {"in_buffer", "out_buffer"}},
+      {"lhs", {"lhs"}},
+      {"rhs", {"rhs"}},
+  };
+
+  for (char cls : {'C', 'D'}) {
+    for (const NvmCfg& n : nvms) {
+      exp::Report rep(std::string("Fig. 4: SP class ") + cls + ", NVM = " +
+                      n.name + " (normalized to DRAM-only)");
+      rep.set_header({"placement in DRAM", "normalized time"});
+      exp::RunConfig cfg = bench::base_config("sp");
+      cfg.wcfg.cls = cls;
+      cfg.nvm_bw_ratio = n.bw;
+      cfg.nvm_lat_mult = n.lat;
+      cfg.policy = exp::Policy::kDramOnly;
+      double dram = exp::run_once(cfg).time_s;
+      rep.add_row({"(DRAM-only)", exp::Report::num(1.0, 2)});
+      for (const auto& [label, names] : sets) {
+        cfg.policy = exp::Policy::kManual;
+        cfg.manual_dram = names;
+        rep.add_row({label,
+                     exp::Report::num(exp::run_once(cfg).time_s / dram, 2)});
+      }
+      cfg.policy = exp::Policy::kNvmOnly;
+      rep.add_row({"(NVM-only)",
+                   exp::Report::num(exp::run_once(cfg).time_s / dram, 2)});
+      rep.print();
+    }
+  }
+  return 0;
+}

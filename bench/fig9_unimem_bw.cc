@@ -1,0 +1,36 @@
+// Figure 9: DRAM-only vs NVM-only vs X-Men vs Unimem, NVM at 1/2 DRAM
+// bandwidth, six NPB kernels + Nek5000(eddy).  Expected shape (paper):
+// average NVM-only gap ~18%; Unimem within a few percent of DRAM-only and
+// never worse than NVM-only; Unimem ~ X-Men on NPB.
+#include "bench_common.h"
+
+int main() {
+  using namespace unimem;
+  exp::Report rep(
+      "Fig. 9: policies at NVM = 1/2 DRAM bandwidth (normalized to DRAM-only)");
+  rep.set_header({"benchmark", "NVM-only", "X-Men", "Unimem", "migrations",
+                  "overlap %", "runtime cost %"});
+  std::vector<std::string> all = bench::npb();
+  all.push_back("nek");
+  for (const std::string& w : all) {
+    exp::RunConfig cfg = bench::base_config(w);
+    cfg.nvm_bw_ratio = 0.5;
+    cfg.nvm_lat_mult = 1.0;
+    cfg.policy = exp::Policy::kDramOnly;
+    double dram = exp::run_once(cfg).time_s;
+    cfg.policy = exp::Policy::kNvmOnly;
+    double nvm = exp::run_once(cfg).time_s;
+    cfg.policy = exp::Policy::kXMen;
+    double xmen = exp::run_once(cfg).time_s;
+    cfg.policy = exp::Policy::kUnimem;
+    exp::RunResult uni = exp::run_once(cfg);
+    rep.add_row({w, exp::Report::num(nvm / dram, 2),
+                 exp::Report::num(xmen / dram, 2),
+                 exp::Report::num(uni.time_s / dram, 2),
+                 std::to_string(uni.total_migrations),
+                 exp::Report::num(uni.mean_overlap_percent, 1),
+                 exp::Report::num(uni.mean_overhead_percent, 2)});
+  }
+  rep.print();
+  return 0;
+}

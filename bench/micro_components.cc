@@ -1,0 +1,137 @@
+// Micro-benchmarks (google-benchmark) for the core components: knapsack
+// solver (DP vs greedy — the ablation of DESIGN.md §6.4), cache models
+// (exact vs analytic — §6.5), the arena allocator, minimpi collectives,
+// and the migration engine's copy path.
+#include <benchmark/benchmark.h>
+
+#include <vector>
+
+#include "common/rng.h"
+#include "core/knapsack.h"
+#include "core/migration.h"
+#include "core/registry.h"
+#include "minimpi/comm.h"
+#include "simcache/analytic_cache.h"
+#include "simcache/exact_cache.h"
+#include "simmem/arena.h"
+
+namespace {
+
+using namespace unimem;
+
+std::vector<rt::KnapsackItem> make_items(std::size_t n, std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<rt::KnapsackItem> items;
+  for (std::size_t i = 0; i < n; ++i)
+    items.push_back(
+        rt::KnapsackItem{rng.uniform(0.0, 1.0), 64 * (1 + rng.below(4096))});
+  return items;
+}
+
+void BM_KnapsackDP(benchmark::State& state) {
+  auto items = make_items(static_cast<std::size_t>(state.range(0)), 42);
+  rt::KnapsackSolver solver(64 * 1024);
+  for (auto _ : state) {
+    auto r = solver.solve(items, 8 << 20);
+    benchmark::DoNotOptimize(r.total_weight);
+  }
+}
+BENCHMARK(BM_KnapsackDP)->Arg(8)->Arg(32)->Arg(128);
+
+void BM_KnapsackGreedy(benchmark::State& state) {
+  auto items = make_items(static_cast<std::size_t>(state.range(0)), 42);
+  rt::KnapsackSolver solver(64 * 1024);
+  for (auto _ : state) {
+    auto r = solver.solve_greedy(items, 8 << 20);
+    benchmark::DoNotOptimize(r.total_weight);
+  }
+}
+BENCHMARK(BM_KnapsackGreedy)->Arg(8)->Arg(32)->Arg(128);
+
+void BM_ExactCacheStream(benchmark::State& state) {
+  cache::ExactCache c;
+  std::vector<std::byte> buf(static_cast<std::size_t>(state.range(0)));
+  cache::AccessDescriptor d;
+  d.base = buf.data();
+  d.region_bytes = buf.size();
+  d.pattern = cache::Pattern::kSequential;
+  d.accesses = buf.size() / 8;
+  for (auto _ : state) {
+    auto r = c.process(d, 32);
+    benchmark::DoNotOptimize(r.misses);
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(buf.size()));
+}
+BENCHMARK(BM_ExactCacheStream)->Arg(1 << 20)->Arg(8 << 20);
+
+void BM_AnalyticCacheStream(benchmark::State& state) {
+  cache::AnalyticCache c;
+  std::vector<std::byte> buf(static_cast<std::size_t>(state.range(0)));
+  cache::AccessDescriptor d;
+  d.base = buf.data();
+  d.region_bytes = buf.size();
+  d.pattern = cache::Pattern::kSequential;
+  d.accesses = buf.size() / 8;
+  for (auto _ : state) {
+    auto r = c.process(d, 32);
+    benchmark::DoNotOptimize(r.misses);
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(buf.size()));
+}
+BENCHMARK(BM_AnalyticCacheStream)->Arg(1 << 20)->Arg(8 << 20);
+
+void BM_ArenaAllocFree(benchmark::State& state) {
+  mem::Arena arena(64 << 20);
+  Rng rng(7);
+  std::vector<void*> live;
+  for (auto _ : state) {
+    if (live.size() < 64 && (live.empty() || rng.uniform() < 0.6)) {
+      void* p = arena.allocate(64 + rng.below(256 * 1024));
+      if (p != nullptr) live.push_back(p);
+    } else {
+      std::size_t i = rng.below(live.size());
+      arena.deallocate(live[i]);
+      live[i] = live.back();
+      live.pop_back();
+    }
+  }
+  for (void* p : live) arena.deallocate(p);
+}
+BENCHMARK(BM_ArenaAllocFree);
+
+void BM_MiniMpiAllreduce(benchmark::State& state) {
+  const int ranks = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    mpi::World world(ranks);
+    world.run([&](mpi::Comm& c) {
+      double v[4] = {1, 2, 3, 4};
+      for (int i = 0; i < 50; ++i) c.allreduce(v, 4);
+    });
+  }
+  state.SetItemsProcessed(state.iterations() * 50);
+}
+BENCHMARK(BM_MiniMpiAllreduce)->Arg(2)->Arg(4)->Unit(benchmark::kMillisecond);
+
+void BM_MigrationRoundTrip(benchmark::State& state) {
+  mem::HeteroMemory hms(mem::HmsConfig::scaled(0.5, 1.0, 16 << 20, 64 << 20));
+  rt::Registry reg(&hms, nullptr);
+  rt::DataObject* o = reg.create("x", static_cast<std::size_t>(state.range(0)),
+                                 {}, mem::Tier::kNvm);
+  rt::MigrationEngine eng(&reg);
+  bool to_dram = true;
+  for (auto _ : state) {
+    eng.enqueue(rt::UnitRef{o->id(), 0},
+                to_dram ? mem::Tier::kDram : mem::Tier::kNvm, 0.0);
+    eng.drain();
+    to_dram = !to_dram;
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          state.range(0));
+}
+BENCHMARK(BM_MigrationRoundTrip)->Arg(1 << 20)->Arg(4 << 20);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,35 @@
+// X-Men baseline (Dulloor et al., "Data Tiering in Heterogeneous Memory
+// Systems", EuroSys 2016 — the comparator in the paper's Figs. 9/10).
+//
+// Per the papers: X-Men uses *offline* PIN profiling to characterize the
+// memory behaviour of each data object over the whole run, classifies the
+// access pattern as streaming / pointer-chasing / random, estimates the
+// benefit of DRAM placement, and installs ONE static placement.  It does
+// not model data-movement cost, never migrates at runtime, and "assume[s]
+// a homogeneous memory access pattern within a data object" — no per-phase
+// adaptation.  Unimem therefore matches it on phase-stable NPB kernels but
+// beats it on phase-varying codes (Nek5000).
+//
+// Our implementation grants X-Men exact ground-truth aggregates from the
+// offline pass (PIN sees every access), which is *more* information than
+// Unimem's sampled counters — the comparison is conservative in X-Men's
+// favour.
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "baselines/static_context.h"
+#include "simmem/hetero_memory.h"
+
+namespace unimem::baseline {
+
+/// Compute the X-Men static placement from offline object profiles:
+/// benefit-per-byte greedy packing of the DRAM budget, with benefit =
+/// pattern-dependent estimated stall reduction.
+std::vector<std::string> xmen_placement(
+    const std::map<std::string, ObjectProfile>& profiles,
+    const mem::HmsConfig& hms, std::size_t dram_budget);
+
+}  // namespace unimem::baseline

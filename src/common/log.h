@@ -1,0 +1,53 @@
+// Minimal leveled logging.  Off by default; enabled via UNIMEM_LOG env var
+// (0=off, 1=info, 2=debug) or programmatically.  The runtime is a library:
+// it must stay silent unless asked.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+namespace unimem {
+
+enum class LogLevel : int { kOff = 0, kInfo = 1, kDebug = 2 };
+
+class Log {
+ public:
+  static LogLevel level() {
+    static LogLevel lvl = from_env();
+    return lvl;
+  }
+
+  static void set_level(LogLevel lvl) { mutable_level() = lvl; }
+
+  template <typename... Args>
+  static void info(const char* fmt, Args... args) {
+    if (static_cast<int>(mutable_level()) >= 1) emit("[unimem] ", fmt, args...);
+  }
+
+  template <typename... Args>
+  static void debug(const char* fmt, Args... args) {
+    if (static_cast<int>(mutable_level()) >= 2) emit("[unimem:dbg] ", fmt, args...);
+  }
+
+ private:
+  static LogLevel& mutable_level() {
+    static LogLevel lvl = from_env();
+    return lvl;
+  }
+  static LogLevel from_env() {
+    const char* e = std::getenv("UNIMEM_LOG");
+    if (e == nullptr) return LogLevel::kOff;
+    int v = std::atoi(e);
+    if (v <= 0) return LogLevel::kOff;
+    return v == 1 ? LogLevel::kInfo : LogLevel::kDebug;
+  }
+  template <typename... Args>
+  static void emit(const char* prefix, const char* fmt, Args... args) {
+    std::fputs(prefix, stderr);
+    std::fprintf(stderr, fmt, args...);
+    std::fputc('\n', stderr);
+  }
+};
+
+}  // namespace unimem

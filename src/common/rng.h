@@ -1,0 +1,37 @@
+// Deterministic, seedable PRNG used everywhere randomness is needed so that
+// simulation results are exactly reproducible run-to-run.
+#pragma once
+
+#include <cstdint>
+
+namespace unimem {
+
+/// SplitMix64: tiny, fast, high-quality 64-bit generator.  Deterministic for
+/// a given seed on every platform (unlike std::default_random_engine).
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ull) : state_(seed) {}
+
+  std::uint64_t next() {
+    std::uint64_t z = (state_ += 0x9e3779b97f4a7c15ull);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+    return z ^ (z >> 31);
+  }
+
+  /// Uniform in [0, bound). bound must be > 0.
+  std::uint64_t below(std::uint64_t bound) { return next() % bound; }
+
+  /// Uniform double in [0, 1).
+  double uniform() {
+    return static_cast<double>(next() >> 11) * (1.0 / 9007199254740992.0);
+  }
+
+  /// Uniform double in [lo, hi).
+  double uniform(double lo, double hi) { return lo + (hi - lo) * uniform(); }
+
+ private:
+  std::uint64_t state_;
+};
+
+}  // namespace unimem

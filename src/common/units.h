@@ -1,0 +1,35 @@
+// Size and time unit helpers shared by every module.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace unimem {
+
+inline constexpr std::size_t kKiB = std::size_t{1} << 10;
+inline constexpr std::size_t kMiB = std::size_t{1} << 20;
+inline constexpr std::size_t kGiB = std::size_t{1} << 30;
+
+/// Cache-line size assumed throughout the simulator (bytes).
+inline constexpr std::size_t kCacheLine = 64;
+
+/// Round `n` up to a multiple of `align` (align must be a power of two).
+constexpr std::size_t align_up(std::size_t n, std::size_t align) {
+  return (n + align - 1) & ~(align - 1);
+}
+
+/// Number of cache lines covering `bytes`.
+constexpr std::uint64_t lines_of(std::uint64_t bytes) {
+  return (bytes + kCacheLine - 1) / kCacheLine;
+}
+
+/// Convert MB/s to bytes/second.
+constexpr double mbps(double mb_per_s) { return mb_per_s * 1e6; }
+
+/// Convert GB/s to bytes/second.
+constexpr double gbps(double gb_per_s) { return gb_per_s * 1e9; }
+
+/// Convert nanoseconds to seconds.
+constexpr double ns(double nanos) { return nanos * 1e-9; }
+
+}  // namespace unimem

@@ -1,0 +1,38 @@
+#include "core/capi.h"
+
+#include <memory>
+
+namespace unimem {
+
+namespace {
+thread_local std::unique_ptr<rt::Runtime> g_runtime;
+}  // namespace
+
+rt::Runtime* unimem_init(rt::RuntimeOptions opts, mem::HeteroMemory* hms,
+                         mem::DramArbiter* arbiter, mpi::Comm* comm) {
+  g_runtime = std::make_unique<rt::Runtime>(opts, hms, arbiter, comm);
+  return g_runtime.get();
+}
+
+void unimem_shutdown() { g_runtime.reset(); }
+
+rt::Runtime* unimem_current() { return g_runtime.get(); }
+
+void unimem_start() {
+  if (g_runtime) g_runtime->start();
+}
+
+void unimem_end() {
+  if (g_runtime) g_runtime->end();
+}
+
+rt::DataObject* unimem_malloc(const char* name, std::size_t bytes,
+                              rt::ObjectTraits traits) {
+  return g_runtime ? g_runtime->malloc_object(name, bytes, traits) : nullptr;
+}
+
+void unimem_free(rt::DataObject* obj) {
+  if (g_runtime) g_runtime->free_object(obj);
+}
+
+}  // namespace unimem

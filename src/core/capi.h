@@ -1,0 +1,45 @@
+// C-style API matching the paper's Table 2.
+//
+//   unimem_init    initialization for hardware counters, timers, globals
+//   unimem_start   identify the beginning of the main computation loop
+//   unimem_end     identify the end of the main computation loop
+//   unimem_malloc  identify and allocate target data objects
+//   unimem_free    free memory allocation for target data objects
+//
+// "In all applications we evaluated, the modification to the applications
+// is less than 20 lines of code."  These functions bind a thread-local
+// current Runtime so legacy-style code can stay free of C++ plumbing.
+#pragma once
+
+#include <cstddef>
+
+#include "core/runtime.h"
+
+namespace unimem {
+
+/// Create a Runtime bound to the calling thread and return it; the caller
+/// keeps ownership of hms/arbiter/comm.  Equivalent to unimem_init.
+rt::Runtime* unimem_init(rt::RuntimeOptions opts, mem::HeteroMemory* hms,
+                         mem::DramArbiter* arbiter, mpi::Comm* comm);
+
+/// Tear down the calling thread's runtime (joins the helper thread).
+void unimem_shutdown();
+
+/// The calling thread's runtime; nullptr before unimem_init.
+rt::Runtime* unimem_current();
+
+/// Mark the beginning of the main computation loop.
+void unimem_start();
+
+/// Mark the end of the main computation loop.
+void unimem_end();
+
+/// Allocate a target data object and return its payload pointer; the
+/// pointer is repointed on migration through the returned handle.
+rt::DataObject* unimem_malloc(const char* name, std::size_t bytes,
+                              rt::ObjectTraits traits = rt::ObjectTraits{});
+
+/// Free a target data object.
+void unimem_free(rt::DataObject* obj);
+
+}  // namespace unimem

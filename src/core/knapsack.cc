@@ -1,0 +1,85 @@
+#include "core/knapsack.h"
+
+#include <algorithm>
+#include <numeric>
+
+namespace unimem::rt {
+
+namespace {
+/// Quantized size in granules, rounded up (an item must fully fit).
+std::size_t granules(std::size_t bytes, std::size_t granule) {
+  return (bytes + granule - 1) / granule;
+}
+}  // namespace
+
+KnapsackResult KnapsackSolver::solve(const std::vector<KnapsackItem>& items,
+                                     std::size_t capacity_bytes) const {
+  KnapsackResult out;
+  const std::size_t cap = capacity_bytes / granule_;
+  if (cap == 0 || items.empty()) return out;
+
+  // Candidates: positive weight, fits at all.
+  std::vector<std::size_t> cand;
+  for (std::size_t i = 0; i < items.size(); ++i)
+    if (items[i].weight > 0 && granules(items[i].bytes, granule_) <= cap)
+      cand.push_back(i);
+  if (cand.empty()) return out;
+
+  // DP over capacity; keep per-cell best value and a take-bit per item to
+  // reconstruct the selection.
+  const std::size_t n = cand.size();
+  std::vector<double> best(cap + 1, 0.0);
+  // take[i][c]: whether candidate i is taken at capacity c.
+  std::vector<std::vector<bool>> take(n, std::vector<bool>(cap + 1, false));
+
+  for (std::size_t i = 0; i < n; ++i) {
+    const auto& it = items[cand[i]];
+    const std::size_t g = granules(it.bytes, granule_);
+    for (std::size_t c = cap; c >= g; --c) {
+      double with = best[c - g] + it.weight;
+      if (with > best[c]) {
+        best[c] = with;
+        take[i][c] = true;
+      }
+      if (c == g) break;  // avoid size_t underflow
+    }
+  }
+
+  // Reconstruct.
+  std::size_t c = cap;
+  for (std::size_t i = n; i-- > 0;) {
+    if (take[i][c]) {
+      out.selected.push_back(cand[i]);
+      out.total_weight += items[cand[i]].weight;
+      out.total_bytes += items[cand[i]].bytes;
+      c -= granules(items[cand[i]].bytes, granule_);
+    }
+  }
+  std::sort(out.selected.begin(), out.selected.end());
+  return out;
+}
+
+KnapsackResult KnapsackSolver::solve_greedy(
+    const std::vector<KnapsackItem>& items, std::size_t capacity_bytes) const {
+  KnapsackResult out;
+  std::vector<std::size_t> order(items.size());
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    double da = items[a].weight / static_cast<double>(std::max<std::size_t>(items[a].bytes, 1));
+    double db = items[b].weight / static_cast<double>(std::max<std::size_t>(items[b].bytes, 1));
+    return da > db;
+  });
+  std::size_t used = 0;
+  for (std::size_t i : order) {
+    if (items[i].weight <= 0) continue;
+    if (used + items[i].bytes > capacity_bytes) continue;
+    used += items[i].bytes;
+    out.selected.push_back(i);
+    out.total_weight += items[i].weight;
+    out.total_bytes += items[i].bytes;
+  }
+  std::sort(out.selected.begin(), out.selected.end());
+  return out;
+}
+
+}  // namespace unimem::rt

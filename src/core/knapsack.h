@@ -1,0 +1,49 @@
+// 0-1 knapsack solver for placement decisions.
+//
+// Paper §3.1.3: "Given the DRAM size limitation, our data placement problem
+// is to maximize total weights of data objects in DRAM while satisfying the
+// DRAM size constraint.  This is a 0-1 knapsack problem", solved by dynamic
+// programming.  Sizes are quantized to a granule so the DP table stays
+// small; a greedy-by-density fallback handles degenerate capacities and
+// serves as the ablation baseline (DESIGN.md §6.4).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace unimem::rt {
+
+struct KnapsackItem {
+  double weight = 0;       ///< value of keeping this item in DRAM (seconds)
+  std::size_t bytes = 0;   ///< item size
+};
+
+struct KnapsackResult {
+  std::vector<std::size_t> selected;  ///< indices into the item array
+  double total_weight = 0;
+  std::size_t total_bytes = 0;
+};
+
+class KnapsackSolver {
+ public:
+  /// `granule` quantizes sizes for the DP (default 64 KiB).  Items with
+  /// non-positive weight are never selected (placing them in DRAM cannot
+  /// help); items larger than the capacity are skipped.
+  explicit KnapsackSolver(std::size_t granule = 64 * 1024)
+      : granule_(granule) {}
+
+  /// Exact DP solution (pseudo-polynomial in capacity/granule).
+  KnapsackResult solve(const std::vector<KnapsackItem>& items,
+                       std::size_t capacity_bytes) const;
+
+  /// Greedy by weight density (weight/bytes); not optimal, used for
+  /// comparison and as a fast path for very large instances.
+  KnapsackResult solve_greedy(const std::vector<KnapsackItem>& items,
+                              std::size_t capacity_bytes) const;
+
+ private:
+  std::size_t granule_;
+};
+
+}  // namespace unimem::rt

@@ -1,0 +1,95 @@
+#include "core/migration.h"
+
+#include <algorithm>
+
+namespace unimem::rt {
+
+MigrationEngine::MigrationEngine(Registry* registry)
+    : registry_(registry), helper_([this] { worker(); }) {}
+
+MigrationEngine::~MigrationEngine() {
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    stop_ = true;
+  }
+  cv_.notify_all();
+  helper_.join();
+}
+
+void MigrationEngine::enqueue(UnitRef unit, mem::Tier to, double enqueue_vt) {
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    queue_.push_back(Request{unit, to, enqueue_vt});
+    ++pending_[unit];
+  }
+  cv_.notify_all();
+}
+
+void MigrationEngine::worker() {
+  std::unique_lock<std::mutex> lk(mu_);
+  for (;;) {
+    cv_.wait(lk, [&] { return stop_ || !queue_.empty(); });
+    if (queue_.empty()) {
+      if (stop_) return;
+      continue;
+    }
+    Request req = queue_.front();
+    queue_.pop_front();
+
+    const mem::Tier from = registry_->unit_tier(req.unit);
+    double done_vt = std::max(req.enqueue_vt, last_completion_vt_);
+    bool moved = false;
+    if (from != req.to) {
+      const std::size_t bytes = registry_->unit_bytes(req.unit);
+      // Perform the real copy without holding our lock (the registry has
+      // its own lock; wait_for callers block on pending_, not the copy).
+      lk.unlock();
+      moved = registry_->migrate(req.unit, req.to);
+      lk.lock();
+      if (moved) {
+        done_vt += registry_->hms().copy_seconds(bytes, from, req.to);
+        ++stats_.migrations;
+        stats_.bytes_moved += bytes;
+        stats_.copy_time_s +=
+            registry_->hms().copy_seconds(bytes, from, req.to);
+      } else if (req.retries_left > 0 && !queue_.empty()) {
+        // Destination full: later queue entries may free the space (an
+        // eviction ordered after us); try again behind them.
+        --req.retries_left;
+        queue_.push_back(req);
+        continue;  // pending_ count unchanged until finally resolved
+      } else {
+        ++stats_.failed;
+      }
+    }
+    last_completion_vt_ = std::max(last_completion_vt_, done_vt);
+    completion_vt_[req.unit] = done_vt;
+    if (--pending_[req.unit] == 0) pending_.erase(req.unit);
+    cv_.notify_all();
+  }
+}
+
+double MigrationEngine::wait_for(UnitRef unit) {
+  std::unique_lock<std::mutex> lk(mu_);
+  cv_.wait(lk, [&] { return pending_.find(unit) == pending_.end(); });
+  auto it = completion_vt_.find(unit);
+  return it == completion_vt_.end() ? 0.0 : it->second;
+}
+
+double MigrationEngine::drain() {
+  std::unique_lock<std::mutex> lk(mu_);
+  cv_.wait(lk, [&] { return queue_.empty() && pending_.empty(); });
+  return last_completion_vt_;
+}
+
+void MigrationEngine::add_exposed_wait(double seconds) {
+  std::lock_guard<std::mutex> lk(mu_);
+  stats_.exposed_wait_s += seconds;
+}
+
+MigrationStats MigrationEngine::stats() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return stats_;
+}
+
+}  // namespace unimem::rt

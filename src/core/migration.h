@@ -1,0 +1,96 @@
+// Proactive data-movement engine (paper §3.1.3 / §3.3 and Fig. 6).
+//
+// "The helper thread is invoked in unimem_init.  In the main computation
+// loop, the helper thread and the main thread interact through a shared
+// FIFO queue.  The main thread puts data movement requests into the queue;
+// the helper thread checks the queue, performs data movement, and removes
+// the data movement request off the queue once the data movement is done.
+// At the beginning of each phase, the runtime of the main thread will check
+// the queue status to determine if all proactive data movement for the
+// current phase is done."
+//
+// The engine runs a real helper std::thread that performs the real memcpy
+// between tier arenas (the registry repoints the handle).  Virtual timing:
+// a request enqueued at virtual time t completes at
+//     max(t, previous request completion) + size / copy_bw,
+// and a phase that needs the unit earlier than that waits for the
+// remainder — the exposed (non-overlapped) migration cost.
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <mutex>
+#include <thread>
+
+#include "core/object.h"
+#include "core/registry.h"
+
+namespace unimem::rt {
+
+struct MigrationStats {
+  std::uint64_t migrations = 0;       ///< completed unit moves
+  std::uint64_t failed = 0;           ///< destination full, move skipped
+  std::uint64_t bytes_moved = 0;
+  double copy_time_s = 0;             ///< total modeled copy time
+  double exposed_wait_s = 0;          ///< part not overlapped with app
+  double overlap_percent() const {
+    if (copy_time_s <= 0) return 100.0;
+    return 100.0 * (1.0 - std::min(1.0, exposed_wait_s / copy_time_s));
+  }
+};
+
+class MigrationEngine {
+ public:
+  explicit MigrationEngine(Registry* registry);
+  ~MigrationEngine();
+
+  MigrationEngine(const MigrationEngine&) = delete;
+  MigrationEngine& operator=(const MigrationEngine&) = delete;
+
+  /// Put a movement request on the FIFO queue at virtual time `enqueue_vt`.
+  void enqueue(UnitRef unit, mem::Tier to, double enqueue_vt);
+
+  /// Block the calling thread until every queued request for `unit` has
+  /// been processed; returns the virtual completion time of the last one
+  /// (0.0 when none was pending).  The caller charges
+  /// max(0, result - now) to its clock — the exposed cost.
+  double wait_for(UnitRef unit);
+
+  /// Block until the queue is fully drained; returns the virtual
+  /// completion time of the last processed request.
+  double drain();
+
+  /// Record exposed waiting time (kept here so Table 4's %overlap is
+  /// computed in one place).
+  void add_exposed_wait(double seconds);
+
+  MigrationStats stats() const;
+
+ private:
+  struct Request {
+    UnitRef unit;
+    mem::Tier to;
+    double enqueue_vt;
+    /// A fill can reach the queue head before the eviction that frees its
+    /// space (triggers wrap across the iteration boundary); re-queue it a
+    /// bounded number of times so the FIFO self-corrects.
+    int retries_left = 2;
+  };
+
+  void worker();
+
+  Registry* registry_;
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<Request> queue_;
+  std::map<UnitRef, int> pending_;          ///< outstanding requests per unit
+  std::map<UnitRef, double> completion_vt_; ///< last completion per unit
+  double last_completion_vt_ = 0;
+  MigrationStats stats_;
+  bool stop_ = false;
+  std::thread helper_;
+};
+
+}  // namespace unimem::rt

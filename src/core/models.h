@@ -1,0 +1,112 @@
+// Unimem's lightweight performance models (paper §3.1.2, Equations 1-4).
+//
+//   Eq. 1  BW_obj  = accessed-data-size / fraction-of-time-accessing
+//   Eq. 2  BFT_bw  = (A*64/NVM_bw - A*64/DRAM_bw) * CF_bw
+//   Eq. 3  BFT_lat = (A*NVM_lat - A*DRAM_lat)     * CF_lat
+//   Eq. 4  COST    = max(size/copy_bw - overlap, 0)
+//
+// Classification thresholds: BW_obj >= t1% of peak NVM bandwidth =>
+// bandwidth-sensitive (use Eq. 2); <= t2% => latency-sensitive (Eq. 3);
+// in between => max(Eq. 2, Eq. 3).  Paper values: t1 = 80, t2 = 10.
+//
+// CF_bw / CF_lat are constant factors measured once per platform by running
+// STREAM (bandwidth) and pointer-chasing (latency) benchmarks and taking
+// the ratio of measured to predicted performance (see calibration.h).
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+
+#include "simmem/hetero_memory.h"
+
+namespace unimem::rt {
+
+/// What the profiler estimated for one (object-unit, phase) pair — derived
+/// purely from sampled counters, never from simulator ground truth.
+struct UnitPhaseProfile {
+  std::uint64_t est_accesses = 0;  ///< estimated main-memory accesses
+  double time_fraction = 0;        ///< fraction of phase time with accesses
+  double phase_time_s = 0;         ///< profiled phase duration
+};
+
+enum class Sensitivity : int { kBandwidth, kLatency, kEither };
+
+inline const char* sensitivity_name(Sensitivity s) {
+  switch (s) {
+    case Sensitivity::kBandwidth: return "bandwidth";
+    case Sensitivity::kLatency: return "latency";
+    case Sensitivity::kEither: return "either";
+  }
+  return "?";
+}
+
+struct ModelParams {
+  double t1_percent = 80.0;  ///< bandwidth-sensitivity threshold
+  double t2_percent = 10.0;  ///< latency-sensitivity threshold
+  double bw_peak = 0;        ///< measured peak NVM bandwidth (bytes/s)
+  double cf_bw = 1.0;        ///< constant factor for Eq. 2
+  double cf_lat = 1.0;       ///< constant factor for Eq. 3
+};
+
+class PerformanceModel {
+ public:
+  PerformanceModel(ModelParams params, const mem::TierConfig& dram,
+                   const mem::TierConfig& nvm)
+      : p_(params), dram_(dram), nvm_(nvm) {}
+
+  const ModelParams& params() const { return p_; }
+
+  /// Eq. 1: estimated main-memory bandwidth consumption of the object.
+  double consumed_bandwidth(const UnitPhaseProfile& u) const {
+    double active = u.time_fraction * u.phase_time_s;
+    if (active <= 0) return 0;
+    return static_cast<double>(u.est_accesses) * 64.0 / active;
+  }
+
+  Sensitivity classify(const UnitPhaseProfile& u) const {
+    double bw = consumed_bandwidth(u);
+    if (p_.bw_peak <= 0) return Sensitivity::kEither;
+    double pct = 100.0 * bw / p_.bw_peak;
+    if (pct >= p_.t1_percent) return Sensitivity::kBandwidth;
+    if (pct <= p_.t2_percent) return Sensitivity::kLatency;
+    return Sensitivity::kEither;
+  }
+
+  /// Eq. 2: benefit of DRAM residence for a bandwidth-sensitive unit (s).
+  double benefit_bandwidth(const UnitPhaseProfile& u) const {
+    double bytes = static_cast<double>(u.est_accesses) * 64.0;
+    return (bytes / nvm_.read_bw - bytes / dram_.read_bw) * p_.cf_bw;
+  }
+
+  /// Eq. 3: benefit of DRAM residence for a latency-sensitive unit (s).
+  double benefit_latency(const UnitPhaseProfile& u) const {
+    double a = static_cast<double>(u.est_accesses);
+    return (a * nvm_.read_latency_s - a * dram_.read_latency_s) * p_.cf_lat;
+  }
+
+  /// Benefit dispatched on sensitivity (paper: the "either" band takes the
+  /// max of the two estimates).
+  double benefit(const UnitPhaseProfile& u) const {
+    switch (classify(u)) {
+      case Sensitivity::kBandwidth: return benefit_bandwidth(u);
+      case Sensitivity::kLatency: return benefit_latency(u);
+      case Sensitivity::kEither:
+        return std::max(benefit_bandwidth(u), benefit_latency(u));
+    }
+    return 0;
+  }
+
+  /// Eq. 4: migration cost net of the overlappable part (s).
+  double migration_cost(std::size_t bytes, double copy_bw,
+                        double overlap_s) const {
+    double raw = static_cast<double>(bytes) / copy_bw;
+    return std::max(raw - overlap_s, 0.0);
+  }
+
+ private:
+  ModelParams p_;
+  mem::TierConfig dram_;
+  mem::TierConfig nvm_;
+};
+
+}  // namespace unimem::rt

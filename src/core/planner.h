@@ -1,0 +1,113 @@
+// Data-placement decision (paper §3.1.3, "Step 3").
+//
+// For every phase, each referenced unit gets a weight
+//     w = BFT - COST - extra_COST            (Eq. 5)
+// where BFT is the Eq. 2/3 benefit, COST the Eq. 4 migration cost net of
+// the overlap window (time between the unit's previous reference and the
+// phase), and extra_COST the eviction traffic needed to make room.  A 0-1
+// knapsack over the DRAM capacity picks the resident set.
+//
+// Two searches are run and the predicted-faster plan is used:
+//   * phase-local search  — one knapsack per phase, migrations between
+//     phases, triggers placed right after the unit's previous reference so
+//     the helper thread can overlap the copy;
+//   * cross-phase global search — one knapsack over aggregated benefits,
+//     a single placement for the whole iteration, no intra-iteration moves.
+#pragma once
+
+#include <set>
+#include <vector>
+
+#include "core/knapsack.h"
+#include "core/models.h"
+#include "core/profiler.h"
+#include "core/registry.h"
+
+namespace unimem::rt {
+
+struct PlannedMigration {
+  UnitRef unit;
+  mem::Tier to = mem::Tier::kDram;
+  /// Phase at whose start the request is enqueued (proactive trigger).
+  std::size_t trigger_phase = 0;
+  /// Phase that needs the unit resident (for stats/debug).
+  std::size_t needed_phase = 0;
+};
+
+struct Plan {
+  enum class Kind { kNone, kLocal, kGlobal } kind = Kind::kNone;
+  /// Migrations to enqueue at the start of each phase, every iteration.
+  /// Index: phase; empty vector = nothing to do.
+  std::vector<std::vector<PlannedMigration>> at_phase;
+  /// Predicted iteration time under this plan (seconds).
+  double predicted_iteration_s = 0;
+  /// Predicted resident set per phase (diagnostics / tests).
+  std::vector<std::set<UnitRef>> dram_sets;
+
+  std::size_t migration_count() const {
+    std::size_t n = 0;
+    for (const auto& v : at_phase) n += v.size();
+    return n;
+  }
+};
+
+struct PlannerOptions {
+  bool local_search = true;
+  bool global_search = true;
+  /// May chunks of one object be placed independently?  When false (the
+  /// Fig. 11 "partitioning large data objects" ablation), an object's
+  /// chunks form one all-or-nothing placement group, so an object larger
+  /// than the budget can never migrate — the paper's motivating problem.
+  bool chunking = true;
+  /// DRAM bytes this rank may plan with (its share of the node allowance).
+  std::size_t dram_budget = 0;
+};
+
+class Planner {
+ public:
+  Planner(const Registry* registry, const PerformanceModel* model,
+          PlannerOptions opts)
+      : registry_(registry), model_(model), opts_(opts) {}
+
+  /// Build the best plan from one profiled iteration.  `initial_tiers`
+  /// describes where each unit lives when the plan starts executing.
+  Plan plan(const Profiler& prof) const;
+
+  /// Predicted iteration time if nothing moves (everything stays where the
+  /// profiler saw it) — the baseline both searches must beat.
+  double no_move_time(const Profiler& prof) const;
+
+ private:
+  /// A placement group: one chunk (chunking on) or one whole object
+  /// (chunking off).  Units move together.
+  struct Group {
+    std::vector<UnitRef> units;
+    std::size_t bytes = 0;
+  };
+  /// Aggregated (group, phase) profiles, indexed [phase][group].
+  using GroupProfiles = std::vector<std::map<std::size_t, UnitPhaseProfile>>;
+
+  std::vector<Group> build_groups() const;
+  GroupProfiles aggregate(const Profiler& prof,
+                          const std::vector<Group>& groups) const;
+
+  Plan plan_local(const Profiler& prof, const std::vector<Group>& groups,
+                  const GroupProfiles& gp) const;
+  Plan plan_global(const Profiler& prof, const std::vector<Group>& groups,
+                   const GroupProfiles& gp) const;
+
+  /// Overlap window before `phase` available for moving group `g`: the
+  /// summed duration of phases since its previous reference.
+  double overlap_window(const GroupProfiles& gp,
+                        const std::vector<double>& phase_times,
+                        std::size_t phase, std::size_t g,
+                        std::size_t* trigger) const;
+
+  bool group_in_dram(const Group& g) const;
+
+  const Registry* registry_;
+  const PerformanceModel* model_;
+  PlannerOptions opts_;
+};
+
+}  // namespace unimem::rt

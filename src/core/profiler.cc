@@ -1,0 +1,85 @@
+#include "core/profiler.h"
+
+#include <algorithm>
+
+namespace unimem::rt {
+
+void Profiler::record_phase(const perf::PhaseSamples& samples,
+                            double phase_time_s) {
+  PhaseObservation obs;
+  obs.phase_time_s = phase_time_s;
+
+  // Attribute each sampled miss address to a unit.
+  std::map<UnitRef, std::uint64_t> counts;
+  std::uint64_t attributed = 0;
+  for (std::uint64_t addr : samples.miss_addresses) {
+    if (auto unit = registry_->attribute(addr)) {
+      ++counts[*unit];
+      ++attributed;
+    }
+  }
+
+  if (attributed > 0 && samples.total_samples > 0) {
+    for (const auto& [unit, n] : counts) {
+      UnitPhaseProfile p;
+      // Apportion the precise aggregate miss counter by sample share.
+      p.est_accesses = static_cast<std::uint64_t>(
+          static_cast<double>(samples.total_miss_count) *
+          static_cast<double>(n) / static_cast<double>(attributed));
+      p.time_fraction = static_cast<double>(n) /
+                        static_cast<double>(samples.total_samples);
+      p.phase_time_s = phase_time_s;
+      if (p.est_accesses > 0) obs.units.emplace(unit, p);
+    }
+  }
+  phases_.push_back(std::move(obs));
+}
+
+void Profiler::record_comm_phase(double phase_time_s) {
+  PhaseObservation obs;
+  obs.phase_time_s = phase_time_s;
+  obs.is_communication = true;
+  phases_.push_back(std::move(obs));
+}
+
+void Profiler::fold(std::size_t periods) {
+  if (periods <= 1 || phases_.empty()) return;
+  if (phases_.size() % periods != 0) return;
+  const std::size_t P = phases_.size() / periods;
+  std::vector<PhaseObservation> folded(P);
+  for (std::size_t i = 0; i < phases_.size(); ++i) {
+    PhaseObservation& dst = folded[i % P];
+    const PhaseObservation& src = phases_[i];
+    dst.phase_time_s += src.phase_time_s / static_cast<double>(periods);
+    dst.is_communication = src.is_communication;
+    for (const auto& [u, prof] : src.units) {
+      UnitPhaseProfile& agg = dst.units[u];
+      agg.est_accesses += prof.est_accesses / periods;
+      agg.time_fraction += prof.time_fraction / static_cast<double>(periods);
+    }
+  }
+  for (auto& ph : folded)
+    for (auto& [u, prof] : ph.units) prof.phase_time_s = ph.phase_time_s;
+  phases_ = std::move(folded);
+}
+
+int Profiler::last_reference_before(std::size_t phase, UnitRef u) const {
+  const std::size_t P = phases_.size();
+  if (P == 0) return -1;
+  for (std::size_t back = 1; back < P; ++back) {
+    std::size_t idx = (phase + P - back) % P;
+    if (phases_[idx].references(u)) return static_cast<int>(idx);
+  }
+  return -1;
+}
+
+std::vector<UnitRef> Profiler::hot_units() const {
+  std::vector<UnitRef> out;
+  for (const auto& ph : phases_)
+    for (const auto& [u, prof] : ph.units)
+      if (std::find(out.begin(), out.end(), u) == out.end()) out.push_back(u);
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+}  // namespace unimem::rt

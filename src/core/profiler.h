@@ -1,0 +1,66 @@
+// Phase profiler (paper §3.1.1, "Step 1").
+//
+// Consumes the PMU sample stream of each profiled phase, maps sampled miss
+// addresses back to object units through the registry's interval map, and
+// estimates per-(unit, phase):
+//   * est_accesses  — the aggregate LLC-miss counter apportioned by the
+//                     unit's share of address samples, and
+//   * time_fraction — the fraction of samples attributing to the unit
+//                     (Eq. 1's  #samples_with_data_accesses / #samples).
+// It also maintains the phase->units reference table the planner uses for
+// dependency windows and proactive-migration trigger points.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "core/models.h"
+#include "core/registry.h"
+#include "perfmon/sampler.h"
+
+namespace unimem::rt {
+
+struct PhaseObservation {
+  double phase_time_s = 0;
+  bool is_communication = false;
+  std::map<UnitRef, UnitPhaseProfile> units;
+
+  bool references(UnitRef u) const { return units.count(u) != 0; }
+};
+
+class Profiler {
+ public:
+  explicit Profiler(const Registry* registry) : registry_(registry) {}
+
+  /// Forget the previous iteration's observations.
+  void begin_iteration() { phases_.clear(); }
+
+  /// Record one computation phase from its sample stream.
+  void record_phase(const perf::PhaseSamples& samples, double phase_time_s);
+
+  /// Record a communication phase (no object attribution).
+  void record_comm_phase(double phase_time_s);
+
+  const std::vector<PhaseObservation>& phases() const { return phases_; }
+  std::size_t phase_count() const { return phases_.size(); }
+
+  /// Merge `periods` consecutive profiled iterations into one averaged
+  /// iteration profile (paper §3: "profiles memory references ... with a
+  /// few invocations of each phase").  No-op unless the recorded phase
+  /// count is an exact multiple of the period.
+  void fold(std::size_t periods);
+
+  /// Most recent phase index < `phase` (cyclically, scanning at most one
+  /// full iteration) that references `u`; -1 when no other phase does.
+  int last_reference_before(std::size_t phase, UnitRef u) const;
+
+  /// All units with nonzero estimated accesses anywhere in the iteration.
+  std::vector<UnitRef> hot_units() const;
+
+ private:
+  const Registry* registry_;
+  std::vector<PhaseObservation> phases_;
+};
+
+}  // namespace unimem::rt

@@ -1,0 +1,195 @@
+#include "core/registry.h"
+
+#include <cstring>
+#include <new>
+#include <stdexcept>
+
+#include "common/units.h"
+
+namespace unimem::rt {
+
+Registry::Registry(mem::HeteroMemory* hms, mem::DramArbiter* arbiter)
+    : hms_(hms), arbiter_(arbiter) {}
+
+Registry::~Registry() {
+  std::lock_guard<std::mutex> lk(mu_);
+  for (auto& obj : objects_) {
+    if (!obj) continue;
+    for (std::size_t i = 0; i < obj->chunk_count(); ++i) {
+      Chunk& c = obj->chunk(i);
+      if (c.data() != nullptr)
+        release_in(c.current_tier(), c.data(), c.bytes);
+    }
+  }
+}
+
+void* Registry::allocate_in(mem::Tier t, std::size_t bytes) {
+  if (t == mem::Tier::kDram && arbiter_ != nullptr) {
+    if (!arbiter_->request(bytes)) return nullptr;
+    void* p = hms_->allocate(t, bytes);
+    if (p == nullptr) arbiter_->release(bytes);
+    return p;
+  }
+  return hms_->allocate(t, bytes);
+}
+
+void Registry::release_in(mem::Tier t, void* p, std::size_t bytes) {
+  hms_->deallocate(t, p);
+  if (t == mem::Tier::kDram && arbiter_ != nullptr) arbiter_->release(bytes);
+}
+
+DataObject* Registry::create(const std::string& name, std::size_t bytes,
+                             ObjectTraits traits, mem::Tier initial,
+                             std::size_t chunk_bytes) {
+  std::lock_guard<std::mutex> lk(mu_);
+  auto id = static_cast<ObjectId>(objects_.size());
+  auto obj = std::make_unique<DataObject>(id, name, bytes, traits);
+
+  std::size_t n_chunks = 1;
+  if (traits.chunkable && chunk_bytes > 0 && bytes > chunk_bytes)
+    n_chunks = (bytes + chunk_bytes - 1) / chunk_bytes;
+
+  std::size_t remaining = bytes;
+  for (std::size_t i = 0; i < n_chunks; ++i) {
+    std::size_t sz = n_chunks == 1
+                         ? bytes
+                         : std::min(remaining, (bytes + n_chunks - 1) / n_chunks);
+    remaining -= sz;
+    auto chunk = std::make_unique<Chunk>();
+    chunk->bytes = align_up(sz, kCacheLine);
+    void* p = allocate_in(initial, chunk->bytes);
+    if (p == nullptr) {
+      // Roll back everything allocated so far.
+      for (std::size_t j = 0; j < obj->chunks_.size(); ++j) {
+        Chunk& c = *obj->chunks_[j];
+        unmap_unit(c);
+        release_in(c.current_tier(), c.data(), c.bytes);
+      }
+      throw std::bad_alloc();
+    }
+    std::memset(p, 0, chunk->bytes);
+    chunk->ptr.store(p, std::memory_order_release);
+    chunk->tier.store(static_cast<int>(initial), std::memory_order_release);
+    obj->chunks_.push_back(std::move(chunk));
+    map_unit(*obj->chunks_.back(), UnitRef{id, static_cast<std::uint32_t>(i)});
+  }
+
+  objects_.push_back(std::move(obj));
+  return objects_.back().get();
+}
+
+void Registry::destroy(ObjectId id) {
+  std::lock_guard<std::mutex> lk(mu_);
+  auto& obj = objects_.at(id);
+  if (!obj) return;
+  for (std::size_t i = 0; i < obj->chunk_count(); ++i) {
+    Chunk& c = obj->chunk(i);
+    unmap_unit(c);
+    release_in(c.current_tier(), c.data(), c.bytes);
+  }
+  obj.reset();
+}
+
+void Registry::add_alias(ObjectId id, void** alias) {
+  std::lock_guard<std::mutex> lk(mu_);
+  auto& obj = objects_.at(id);
+  obj->aliases_.push_back(alias);
+  *alias = obj->chunk(0).data();
+}
+
+void Registry::map_unit(const Chunk& c, UnitRef ref) {
+  auto lo = reinterpret_cast<std::uint64_t>(c.data());
+  addr_map_.insert(lo, lo + c.bytes, ref);
+}
+
+void Registry::unmap_unit(const Chunk& c) {
+  addr_map_.erase(reinterpret_cast<std::uint64_t>(c.data()));
+}
+
+bool Registry::migrate(UnitRef unit, mem::Tier to) {
+  std::lock_guard<std::mutex> lk(mu_);
+  auto& obj = objects_.at(unit.object);
+  Chunk& c = obj->chunk(unit.chunk);
+  if (c.current_tier() == to) return true;
+
+  void* dst = allocate_in(to, c.bytes);
+  if (dst == nullptr) return false;
+
+  void* src = c.data();
+  mem::Tier from = c.current_tier();
+  std::memcpy(dst, src, c.bytes);
+  unmap_unit(c);
+  c.ptr.store(dst, std::memory_order_release);
+  c.tier.store(static_cast<int>(to), std::memory_order_release);
+  map_unit(c, unit);
+  release_in(from, src, c.bytes);
+
+  // Repoint programmer aliases (whole-object aliases track chunk 0).
+  if (unit.chunk == 0)
+    for (void** a : obj->aliases_) *a = dst;
+  return true;
+}
+
+std::optional<UnitRef> Registry::attribute(std::uint64_t addr) const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return addr_map_.find(addr);
+}
+
+DataObject* Registry::get(ObjectId id) {
+  std::lock_guard<std::mutex> lk(mu_);
+  return objects_.at(id).get();
+}
+
+const DataObject* Registry::get(ObjectId id) const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return objects_.at(id).get();
+}
+
+DataObject* Registry::find(const std::string& name) {
+  std::lock_guard<std::mutex> lk(mu_);
+  for (auto& o : objects_)
+    if (o && o->name() == name) return o.get();
+  return nullptr;
+}
+
+std::size_t Registry::object_count() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  std::size_t n = 0;
+  for (auto& o : objects_)
+    if (o) ++n;
+  return n;
+}
+
+std::size_t Registry::unit_bytes(UnitRef u) const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return objects_.at(u.object)->chunk(u.chunk).bytes;
+}
+
+mem::Tier Registry::unit_tier(UnitRef u) const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return objects_.at(u.object)->chunk(u.chunk).current_tier();
+}
+
+std::vector<UnitRef> Registry::all_units() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  std::vector<UnitRef> out;
+  for (auto& o : objects_) {
+    if (!o) continue;
+    for (std::uint32_t c = 0; c < o->chunk_count(); ++c)
+      out.push_back(UnitRef{o->id(), c});
+  }
+  return out;
+}
+
+std::size_t Registry::resident_bytes(mem::Tier t) const {
+  std::lock_guard<std::mutex> lk(mu_);
+  std::size_t sum = 0;
+  for (auto& o : objects_) {
+    if (!o) continue;
+    for (std::uint32_t c = 0; c < o->chunk_count(); ++c)
+      if (o->chunk(c).current_tier() == t) sum += o->chunk(c).bytes;
+  }
+  return sum;
+}
+
+}  // namespace unimem::rt

@@ -1,0 +1,85 @@
+// Object registry: owns all target data objects of one rank, performs the
+// actual tier allocations, maintains the address->unit attribution map the
+// profiler uses to map sampled miss addresses back to objects, and performs
+// migrations (allocate in destination tier, copy payload, repoint handle
+// and registered aliases, free source).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/interval_map.h"
+#include "core/object.h"
+#include "simmem/dram_arbiter.h"
+#include "simmem/hetero_memory.h"
+
+namespace unimem::rt {
+
+class Registry {
+ public:
+  /// `arbiter` is the node-level DRAM space service shared by all ranks on
+  /// the node; may be nullptr for single-rank tools (then only the local
+  /// arena bounds DRAM use).
+  Registry(mem::HeteroMemory* hms, mem::DramArbiter* arbiter);
+  ~Registry();
+
+  Registry(const Registry&) = delete;
+  Registry& operator=(const Registry&) = delete;
+
+  /// Allocate a target object in `initial` tier.  If `chunk_bytes` > 0 and
+  /// the object is chunkable and larger than chunk_bytes, it is split into
+  /// ceil(bytes/chunk_bytes) chunks.  Throws std::bad_alloc when the tier
+  /// cannot hold the payload.
+  DataObject* create(const std::string& name, std::size_t bytes,
+                     ObjectTraits traits, mem::Tier initial,
+                     std::size_t chunk_bytes = 0);
+
+  /// Free an object and all its chunks.
+  void destroy(ObjectId id);
+
+  /// Register a programmer-visible alias pointer to be repointed on moves.
+  void add_alias(ObjectId id, void** alias);
+
+  /// Move one unit to `to`.  Returns false (no state change) when the
+  /// destination cannot hold it (arena full or arbiter refuses).  Safe to
+  /// call from the helper thread concurrently with profiler lookups.
+  bool migrate(UnitRef unit, mem::Tier to);
+
+  /// Attribute a sampled miss address to a unit, if it belongs to one.
+  std::optional<UnitRef> attribute(std::uint64_t addr) const;
+
+  DataObject* get(ObjectId id);
+  const DataObject* get(ObjectId id) const;
+  DataObject* find(const std::string& name);
+  std::size_t object_count() const;
+  std::size_t unit_bytes(UnitRef u) const;
+  mem::Tier unit_tier(UnitRef u) const;
+
+  /// All units, in (object, chunk) order.
+  std::vector<UnitRef> all_units() const;
+
+  mem::HeteroMemory& hms() { return *hms_; }
+  const mem::HeteroMemory& hms() const { return *hms_; }
+  mem::DramArbiter* arbiter() { return arbiter_; }
+
+  /// Total bytes currently resident in `t` across registered units.
+  std::size_t resident_bytes(mem::Tier t) const;
+
+ private:
+  void map_unit(const Chunk& c, UnitRef ref);
+  void unmap_unit(const Chunk& c);
+  void* allocate_in(mem::Tier t, std::size_t bytes);
+  void release_in(mem::Tier t, void* p, std::size_t bytes);
+
+  mem::HeteroMemory* hms_;
+  mem::DramArbiter* arbiter_;
+  mutable std::mutex mu_;
+  std::vector<std::unique_ptr<DataObject>> objects_;
+  IntervalMap<UnitRef> addr_map_;
+};
+
+}  // namespace unimem::rt

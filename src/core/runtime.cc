@@ -1,0 +1,321 @@
+#include "core/runtime.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/log.h"
+
+namespace unimem::rt {
+
+Runtime::Runtime(RuntimeOptions opts, mem::HeteroMemory* hms,
+                 mem::DramArbiter* arbiter, mpi::Comm* comm)
+    : opts_(opts), hms_(hms), comm_(comm), profiler_(nullptr) {
+  if (opts_.use_exact_cache)
+    cache_ = std::make_unique<cache::ExactCache>(opts_.cache);
+  else
+    cache_ = std::make_unique<cache::AnalyticCache>(opts_.cache);
+
+  registry_ = std::make_unique<Registry>(hms_, arbiter);
+  profiler_ = Profiler(registry_.get());
+  engine_ = std::make_unique<ExecEngine>(hms_, cache_.get(), opts_.timing);
+  migrator_ = std::make_unique<MigrationEngine>(registry_.get());
+  sampler_ = std::make_unique<perf::Sampler>(opts_.timing, opts_.sampler_seed);
+
+  dram_budget_ = opts_.dram_budget;
+  if (dram_budget_ == 0) {
+    std::size_t node_allowance = arbiter != nullptr
+                                     ? arbiter->allowance()
+                                     : hms_->config().dram.capacity_bytes;
+    dram_budget_ = node_allowance / std::max(1, opts_.ranks_per_node);
+  }
+
+  // unimem_init: one-time calibration (STREAM + pointer chase, §3.1.2).
+  CalibrationOptions copts;
+  copts.t1_percent = opts_.t1_percent;
+  copts.t2_percent = opts_.t2_percent;
+  model_params_ = calibrate(hms_->config(), *cache_, opts_.timing, copts);
+  model_ = std::make_unique<PerformanceModel>(model_params_, hms_->config().dram,
+                                              hms_->config().nvm);
+  if (comm_ != nullptr) comm_->set_hooks(this);
+}
+
+Runtime::~Runtime() {
+  if (comm_ != nullptr) comm_->set_hooks(nullptr);
+}
+
+clk::VirtualClock& Runtime::clock() {
+  return comm_ != nullptr ? comm_->clock() : own_clock_;
+}
+const clk::VirtualClock& Runtime::clock() const {
+  return comm_ != nullptr ? comm_->clock() : own_clock_;
+}
+
+void Runtime::charge_overhead(double seconds) {
+  overhead_s_ += seconds;
+  clock().advance(seconds);
+}
+
+// ---------------------------------------------------------------------------
+// Allocation API
+
+DataObject* Runtime::malloc_object(const std::string& name, std::size_t bytes,
+                                   ObjectTraits traits) {
+  // All data objects start in NVM by default (§3.2); initial placement
+  // promotes the hottest ones at unimem_start.  Chunk layout is policy-
+  // invariant (see chunk_bytes_for); enable_chunking only controls whether
+  // the planner may place chunks independently.
+  std::size_t cb = opts_.chunk_bytes != 0
+                       ? (traits.chunkable && bytes > kChunkThreshold
+                              ? opts_.chunk_bytes
+                              : 0)
+                       : chunk_bytes_for(traits.chunkable, bytes);
+  return registry_->create(name, bytes, traits, mem::Tier::kNvm, cb);
+}
+
+void Runtime::free_object(DataObject* obj) {
+  if (obj != nullptr) registry_->destroy(obj->id());
+}
+
+void Runtime::add_alias(DataObject* obj, void** alias) {
+  registry_->add_alias(obj->id(), alias);
+}
+
+// ---------------------------------------------------------------------------
+// Initial data placement (§3.2)
+
+void Runtime::apply_initial_placement() {
+  // Rank objects by the compiler-style symbolic reference estimate and
+  // greedily promote the most-referenced ones, subject to the DRAM budget.
+  struct Cand {
+    UnitRef unit;
+    double refs;
+    std::size_t bytes;
+  };
+  std::vector<Cand> cands;
+  for (const UnitRef& u : registry_->all_units()) {
+    const DataObject* obj = registry_->get(u.object);
+    if (obj == nullptr) continue;
+    double est = obj->traits().estimated_references;
+    if (est < 0) continue;  // unknown before the main loop: stays in NVM
+    // Spread the estimate across chunks.
+    cands.push_back(Cand{u, est / static_cast<double>(obj->chunk_count()),
+                         registry_->unit_bytes(u)});
+  }
+  std::stable_sort(cands.begin(), cands.end(),
+                   [](const Cand& a, const Cand& b) { return a.refs > b.refs; });
+  std::size_t used = registry_->resident_bytes(mem::Tier::kDram);
+  for (const Cand& c : cands) {
+    if (c.refs <= 0) break;
+    if (used + c.bytes > dram_budget_) continue;
+    if (registry_->migrate(c.unit, mem::Tier::kDram)) used += c.bytes;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Loop lifecycle
+
+void Runtime::start() {
+  started_ = true;
+  if (opts_.enable_initial_placement) apply_initial_placement();
+  mode_ = Mode::kProfiling;
+  profiler_.begin_iteration();
+  profile_iters_in_row_ = 0;
+  iteration_ = 0;
+  phase_idx_ = 0;
+  open_phase();
+}
+
+void Runtime::iteration_begin() {
+  if (!started_) {
+    start();
+    return;
+  }
+  if (iteration_ == 0 && phases_executed_ == 0) {
+    // First call right after start(): nothing to close yet.
+    return;
+  }
+  // Close the tail phase of the previous iteration.
+  close_phase(false, 0.0);
+
+  if (mode_ == Mode::kProfiling &&
+      ++profile_iters_in_row_ < std::max(1, opts_.profile_iterations)) {
+    // Keep profiling: "a few invocations of each phase" average out the
+    // sampling noise of any single iteration.
+  } else if (mode_ == Mode::kProfiling) {
+    make_plan();
+    mode_ = Mode::kEnforcing;
+    enforce_iters_since_plan_ = 0;
+  } else if (reprofile_requested_) {
+    // Variation detected (>10%): re-profile this iteration, re-plan after.
+    profiler_.begin_iteration();
+    mode_ = Mode::kProfiling;
+    reprofile_requested_ = false;
+    profile_iters_in_row_ = 0;
+    ++reprofiles_;
+  } else {
+    ++enforce_iters_since_plan_;
+  }
+
+  prev_phase_times_ = std::move(cur_phase_times_);
+  cur_phase_times_.clear();
+  ++iteration_;
+  phase_idx_ = 0;
+  if (mode_ == Mode::kEnforcing) enqueue_phase_migrations(0);
+  open_phase();
+}
+
+void Runtime::end() {
+  close_phase(false, 0.0);
+  double done_vt = migrator_->drain();
+  double waited = clock().wait_until(done_vt);
+  migrator_->add_exposed_wait(waited);
+  end_vt_ = clock().now();
+  mode_ = Mode::kIdle;
+  started_ = false;
+}
+
+// ---------------------------------------------------------------------------
+// Phase machinery
+
+void Runtime::open_phase() {
+  phase_open_vt_ = clock().now();
+  phase_compute_s_ = 0;
+  phase_windows_.clear();
+}
+
+void Runtime::close_phase(bool is_comm, double comm_time) {
+  const double phase_time = clock().now() - phase_open_vt_;
+  (void)comm_time;
+  ++phases_executed_;
+  cur_phase_times_.push_back(phase_time);
+
+  if (mode_ == Mode::kProfiling) {
+    if (is_comm) {
+      profiler_.record_comm_phase(phase_time);
+    } else {
+      perf::PhaseSamples samples =
+          sampler_->sample_phase(phase_windows_, phase_compute_s_, phase_time);
+      charge_overhead(static_cast<double>(samples.miss_addresses.size()) *
+                      opts_.overhead_per_sample_s);
+      profiler_.record_phase(samples, phase_time);
+    }
+  } else if (mode_ == Mode::kEnforcing) {
+    charge_overhead(opts_.overhead_per_phase_s);
+    // Variation monitor (§3.2): compare with the same phase last iteration.
+    std::size_t idx = cur_phase_times_.size() - 1;
+    if (enforce_iters_since_plan_ >= 3 && idx < prev_phase_times_.size()) {
+      double prev = prev_phase_times_[idx];
+      if (prev > 0 &&
+          std::abs(phase_time - prev) > opts_.reprofile_threshold * prev)
+        reprofile_requested_ = true;
+    }
+  }
+}
+
+void Runtime::enqueue_phase_migrations(std::size_t phase_idx) {
+  if (plan_.kind == Plan::Kind::kNone) return;
+  if (phase_idx >= plan_.at_phase.size()) return;
+  for (const PlannedMigration& m : plan_.at_phase[phase_idx]) {
+    charge_overhead(opts_.overhead_per_phase_s);
+    migrator_->enqueue(m.unit, m.to, clock().now());
+  }
+}
+
+void Runtime::phase_boundary() {
+  close_phase(false, 0.0);
+  ++phase_idx_;
+  if (mode_ == Mode::kEnforcing) enqueue_phase_migrations(phase_idx_);
+  open_phase();
+}
+
+void Runtime::on_pre_op(const mpi::OpInfo& info) {
+  if (!started_ || !info.blocking) return;
+  // The blocking MPI call ends the computation phase and is itself a
+  // communication phase.
+  close_phase(false, 0.0);
+  ++phase_idx_;
+  if (mode_ == Mode::kEnforcing) enqueue_phase_migrations(phase_idx_);
+  open_phase();
+}
+
+void Runtime::on_post_op(const mpi::OpInfo& info) {
+  if (!started_ || !info.blocking) return;
+  close_phase(true, 0.0);
+  ++phase_idx_;
+  if (mode_ == Mode::kEnforcing) enqueue_phase_migrations(phase_idx_);
+  open_phase();
+}
+
+// ---------------------------------------------------------------------------
+// Compute
+
+void Runtime::compute(const PhaseWork& work) {
+  // Correctness: a phase must not run while its objects are in flight.
+  // Wait for any outstanding migration of units this work touches; the
+  // remainder of the copy is the exposed (non-overlapped) cost.
+  for (const ObjectAccess& a : work.accesses) {
+    if (a.object == nullptr) continue;
+    for (std::uint32_t c = 0; c < a.object->chunk_count(); ++c) {
+      double done_vt = migrator_->wait_for(UnitRef{a.object->id(), c});
+      double waited = clock().wait_until(done_vt);
+      if (waited > 0) migrator_->add_exposed_wait(waited);
+    }
+  }
+
+  PhaseExec exec = engine_->run(work);
+  clock().advance(exec.total_s());
+  phase_compute_s_ += exec.compute_s;
+  if (mode_ == Mode::kProfiling)
+    phase_windows_.insert(phase_windows_.end(), exec.windows.begin(),
+                          exec.windows.end());
+}
+
+// ---------------------------------------------------------------------------
+// Planning
+
+void Runtime::make_plan() {
+  profiler_.fold(static_cast<std::size_t>(std::max(1, profile_iters_in_row_)));
+  PlannerOptions popts;
+  popts.local_search = opts_.enable_local_search;
+  popts.global_search = opts_.enable_global_search;
+  popts.chunking = opts_.enable_chunking;
+  popts.dram_budget = dram_budget_;
+  Planner planner(registry_.get(), model_.get(), popts);
+  plan_ = planner.plan(profiler_);
+  if (!opts_.proactive_migration) {
+    // Ablation: synchronous migration — move everything at the phase that
+    // needs it, nothing is overlapped.
+    std::vector<std::vector<PlannedMigration>> sync(plan_.at_phase.size());
+    for (const auto& v : plan_.at_phase)
+      for (PlannedMigration m : v) {
+        m.trigger_phase = m.needed_phase;
+        sync[m.needed_phase].push_back(m);
+      }
+    plan_.at_phase = std::move(sync);
+  }
+  std::size_t items = 0;
+  for (const auto& ph : profiler_.phases()) items += ph.units.size();
+  charge_overhead(opts_.overhead_plan_fixed_s +
+                  static_cast<double>(items) * opts_.overhead_per_plan_item_s);
+  Log::info("rank plan: kind=%d migrations/iter=%zu predicted=%.3fms",
+            static_cast<int>(plan_.kind), plan_.migration_count(),
+            plan_.predicted_iteration_s * 1e3);
+}
+
+// ---------------------------------------------------------------------------
+// Stats
+
+RuntimeStats Runtime::stats() const {
+  RuntimeStats s;
+  s.migration = migrator_->stats();
+  s.overhead_s = overhead_s_;
+  s.total_time_s = end_vt_ > 0 ? end_vt_ : clock().now();
+  s.phases_executed = phases_executed_;
+  s.iterations = iteration_ + (phases_executed_ > 0 ? 1 : 0);
+  s.reprofiles = reprofiles_;
+  s.plan_kind = plan_.kind;
+  s.planned_migrations_per_iteration = plan_.migration_count();
+  return s;
+}
+
+}  // namespace unimem::rt

@@ -1,0 +1,184 @@
+// The Unimem runtime (paper §3): online profiling -> performance modeling
+// -> placement decision -> proactive enforcement, phase by phase.
+//
+// Workflow (paper Fig. 8):
+//   iteration 1             : phase profiling via sampled counters
+//   end of iteration 1      : model + knapsack -> local & global plans,
+//                             pick the predicted-better one
+//   iterations 2..N         : enforce; helper thread migrates proactively
+//                             at trigger phases; phases wait only for
+//                             not-yet-finished moves (exposed cost)
+//   any phase drifts > 10%  : re-profile next iteration and re-plan
+//
+// Phase boundaries are discovered transparently through minimpi's PMPI
+// hooks: every *blocking* MPI call ends the current computation phase and
+// is itself a communication phase; non-blocking calls merge into the
+// following phase (paper §2.1).
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/calibration.h"
+#include "core/context.h"
+#include "core/exec_engine.h"
+#include "core/migration.h"
+#include "core/models.h"
+#include "core/planner.h"
+#include "core/profiler.h"
+#include "core/registry.h"
+#include "minimpi/comm.h"
+#include "minimpi/pmpi.h"
+#include "perfmon/sampler.h"
+#include "simcache/analytic_cache.h"
+#include "simcache/exact_cache.h"
+#include "simclock/virtual_clock.h"
+
+namespace unimem::rt {
+
+struct RuntimeOptions {
+  // ---- technique switches (Fig. 11 ablation) --------------------------
+  bool enable_global_search = true;   ///< technique (1)
+  bool enable_local_search = true;    ///< technique (2)
+  bool enable_chunking = true;        ///< technique (3)
+  bool enable_initial_placement = true;  ///< technique (4)
+  /// false = synchronous migration at the needed phase (no helper-thread
+  /// overlap) — the ablation of the proactive mechanism.
+  bool proactive_migration = true;
+
+  // ---- model / substrate ----------------------------------------------
+  bool use_exact_cache = false;  ///< exact LLC sim instead of analytic
+  cache::CacheConfig cache{};
+  clk::TimingParams timing{};
+  double t1_percent = 80.0;
+  double t2_percent = 10.0;
+  double reprofile_threshold = 0.10;  ///< "obvious variation" (paper: 10%)
+  /// Iterations profiled before planning ("a few invocations of each
+  /// phase"); > 1 averages out sampling noise.
+  int profile_iterations = 2;
+  std::uint64_t sampler_seed = 42;
+
+  /// DRAM bytes this rank plans with; 0 = node allowance / ranks_per_node.
+  std::size_t dram_budget = 0;
+  int ranks_per_node = 1;
+  /// Chunk size override for large chunkable objects; 0 = kChunkBytes.
+  std::size_t chunk_bytes = 0;
+
+  // ---- modeled runtime-overhead charges (virtual seconds) --------------
+  double overhead_per_sample_s = 25e-9;   ///< sample handling
+  double overhead_per_phase_s = 0.5e-6;   ///< queue status check / sync
+  double overhead_per_plan_item_s = 1e-6; ///< modeling + knapsack per item
+  double overhead_plan_fixed_s = 20e-6;
+};
+
+struct RuntimeStats {
+  MigrationStats migration;
+  double overhead_s = 0;        ///< Table 4 "pure runtime cost" (seconds)
+  double total_time_s = 0;      ///< virtual time at unimem_end
+  std::uint64_t phases_executed = 0;
+  std::uint64_t iterations = 0;
+  std::uint64_t reprofiles = 0;
+  Plan::Kind plan_kind = Plan::Kind::kNone;
+  std::size_t planned_migrations_per_iteration = 0;
+
+  double overhead_percent() const {
+    return total_time_s > 0 ? 100.0 * overhead_s / total_time_s : 0.0;
+  }
+};
+
+class Runtime final : public Context, public mpi::PmpiHooks {
+ public:
+  /// `comm` may be nullptr (single-rank); `arbiter` may be nullptr (then
+  /// the DRAM arena alone bounds placement).  unimem_init: spawns the
+  /// helper thread, calibrates the model (cached per configuration).
+  Runtime(RuntimeOptions opts, mem::HeteroMemory* hms,
+          mem::DramArbiter* arbiter, mpi::Comm* comm);
+  ~Runtime() override;
+
+  // ---- Context (paper Table 2 API) -------------------------------------
+  DataObject* malloc_object(const std::string& name, std::size_t bytes,
+                            ObjectTraits traits = ObjectTraits{}) override;
+  void free_object(DataObject* obj) override;
+  void start() override;
+  void iteration_begin() override;
+  void end() override;
+  void compute(const PhaseWork& work) override;
+  mpi::Comm* comm() override { return comm_; }
+  double now() const override { return clock().now(); }
+
+  /// Register a programmer alias created before the main loop (§3.3).
+  void add_alias(DataObject* obj, void** alias);
+
+  /// Manual phase boundary for non-MPI applications.
+  void phase_boundary();
+
+  // ---- PmpiHooks --------------------------------------------------------
+  void on_pre_op(const mpi::OpInfo& info) override;
+  void on_post_op(const mpi::OpInfo& info) override;
+
+  // ---- introspection ----------------------------------------------------
+  RuntimeStats stats() const;
+  Registry& registry() { return *registry_; }
+  const Plan& current_plan() const { return plan_; }
+  const ModelParams& model_params() const { return model_params_; }
+  const Profiler& profiler() const { return profiler_; }
+
+ private:
+  enum class Mode { kIdle, kProfiling, kEnforcing };
+
+  clk::VirtualClock& clock();
+  const clk::VirtualClock& clock() const;
+  void close_phase(bool is_comm, double comm_time);
+  void open_phase();
+  void enqueue_phase_migrations(std::size_t phase_idx);
+  void make_plan();
+  void apply_initial_placement();
+  void charge_overhead(double seconds);
+
+  RuntimeOptions opts_;
+  mem::HeteroMemory* hms_;
+  mpi::Comm* comm_;
+  clk::VirtualClock own_clock_;  ///< used when comm_ == nullptr
+
+  std::unique_ptr<cache::CacheModel> cache_;
+  std::unique_ptr<Registry> registry_;
+  std::unique_ptr<ExecEngine> engine_;
+  std::unique_ptr<MigrationEngine> migrator_;
+  std::unique_ptr<perf::Sampler> sampler_;
+  Profiler profiler_;
+  ModelParams model_params_;
+  std::unique_ptr<PerformanceModel> model_;
+  Plan plan_;
+
+  Mode mode_ = Mode::kIdle;
+  bool started_ = false;
+  std::size_t dram_budget_ = 0;
+  std::size_t phase_idx_ = 0;       ///< within the current iteration
+  std::uint64_t iteration_ = 0;
+  bool reprofile_requested_ = false;
+  int profile_iters_in_row_ = 0;    ///< iterations profiled so far
+  /// Enforcing iterations completed under the current plan.  The variation
+  /// monitor arms only at >= 3: the first enforcing iteration differs from
+  /// the profiled one by design (placement improved), the second can still
+  /// absorb the exposed tail of first-time migrations (a fill triggered
+  /// late in iteration N completes at the top of N+1), so the first pair
+  /// of comparable steady iterations is (3, 4).
+  int enforce_iters_since_plan_ = 0;
+
+  // Current-phase accumulation.
+  double phase_open_vt_ = 0;
+  double phase_compute_s_ = 0;
+  std::vector<perf::MemWindow> phase_windows_;
+
+  // Previous-iteration phase times for the variation monitor.
+  std::vector<double> prev_phase_times_;
+  std::vector<double> cur_phase_times_;
+
+  double overhead_s_ = 0;
+  std::uint64_t phases_executed_ = 0;
+  std::uint64_t reprofiles_ = 0;
+  double end_vt_ = 0;
+};
+
+}  // namespace unimem::rt

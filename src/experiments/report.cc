@@ -1,0 +1,43 @@
+#include "experiments/report.h"
+
+#include <algorithm>
+#include <cstdlib>
+
+namespace unimem::exp {
+
+void Report::print(std::FILE* out) const {
+  std::fprintf(out, "\n== %s ==\n", title_.c_str());
+
+  std::vector<std::size_t> width(header_.size(), 0);
+  auto widen = [&](const std::vector<std::string>& row) {
+    for (std::size_t i = 0; i < row.size() && i < width.size(); ++i)
+      width[i] = std::max(width[i], row[i].size());
+  };
+  widen(header_);
+  for (const auto& r : rows_) widen(r);
+
+  auto print_row = [&](const std::vector<std::string>& row) {
+    for (std::size_t i = 0; i < row.size(); ++i)
+      std::fprintf(out, "%-*s  ", static_cast<int>(i < width.size() ? width[i] : 8),
+                   row[i].c_str());
+    std::fputc('\n', out);
+  };
+  print_row(header_);
+  for (std::size_t i = 0; i < width.size(); ++i)
+    std::fprintf(out, "%s  ", std::string(width[i], '-').c_str());
+  std::fputc('\n', out);
+  for (const auto& r : rows_) print_row(r);
+
+  if (std::getenv("UNIMEM_CSV") != nullptr) {
+    std::fprintf(out, "\ncsv,%s\n", title_.c_str());
+    auto csv_row = [&](const std::vector<std::string>& row) {
+      std::fputs("csv", out);
+      for (const auto& c : row) std::fprintf(out, ",%s", c.c_str());
+      std::fputc('\n', out);
+    };
+    csv_row(header_);
+    for (const auto& r : rows_) csv_row(r);
+  }
+}
+
+}  // namespace unimem::exp

@@ -1,0 +1,36 @@
+// Minimal fixed-width table printer for the bench binaries, so every
+// figure/table harness prints rows in the same aligned format the paper's
+// tables use.  Also writes CSV next to stdout when UNIMEM_CSV is set.
+#pragma once
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+namespace unimem::exp {
+
+class Report {
+ public:
+  explicit Report(std::string title) : title_(std::move(title)) {}
+
+  void set_header(std::vector<std::string> cols) { header_ = std::move(cols); }
+  void add_row(std::vector<std::string> cells) {
+    rows_.push_back(std::move(cells));
+  }
+
+  /// Format helper: fixed-precision double.
+  static std::string num(double v, int prec = 2) {
+    char buf[64];
+    std::snprintf(buf, sizeof buf, "%.*f", prec, v);
+    return buf;
+  }
+
+  void print(std::FILE* out = stdout) const;
+
+ private:
+  std::string title_;
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace unimem::exp

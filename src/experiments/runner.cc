@@ -1,0 +1,184 @@
+#include "experiments/runner.h"
+
+#include <algorithm>
+#include <memory>
+#include <mutex>
+
+#include "baselines/static_context.h"
+#include "baselines/xmen.h"
+
+namespace unimem::exp {
+
+const char* policy_name(Policy p) {
+  switch (p) {
+    case Policy::kDramOnly: return "DRAM-only";
+    case Policy::kNvmOnly: return "NVM-only";
+    case Policy::kUnimem: return "Unimem";
+    case Policy::kXMen: return "X-Men";
+    case Policy::kManual: return "manual";
+  }
+  return "?";
+}
+
+namespace {
+
+struct Node {
+  std::unique_ptr<mem::HeteroMemory> hms;
+  std::unique_ptr<mem::DramArbiter> arbiter;
+};
+
+/// Build the per-node memory systems for a run.
+std::vector<Node> make_nodes(const RunConfig& cfg, bool dram_speed_everywhere) {
+  const int nnodes =
+      (cfg.wcfg.nranks + cfg.ranks_per_node - 1) / cfg.ranks_per_node;
+  // NVM must hold every rank's footprint with headroom for migration churn.
+  const std::size_t nvm_cap =
+      static_cast<std::size_t>(cfg.ranks_per_node) *
+      (2 * cfg.wcfg.rank_bytes() + 32 * kMiB);
+  // The DRAM *allowance* (what the arbiter enforces and the planner packs)
+  // is cfg.dram_capacity; the backing arena carries 2x slack because real
+  // allocations go through paged virtual memory and are not defeated by
+  // physical contiguity at object granularity.
+  const std::size_t dram_arena = 2 * cfg.dram_capacity + 4 * kMiB;
+  std::vector<Node> nodes(static_cast<std::size_t>(nnodes));
+  for (auto& n : nodes) {
+    mem::HmsConfig hc;
+    if (dram_speed_everywhere) {
+      // DRAM-only machine: the "NVM" tier runs at DRAM speed; capacity is
+      // irrelevant to timing, placement stays trivially in that tier.
+      hc = mem::HmsConfig{
+          mem::TierConfig::dram_basis(dram_arena),
+          mem::TierConfig::nvm_scaled(nvm_cap, 1.0, 1.0)};
+    } else {
+      hc = mem::HmsConfig{
+          mem::TierConfig::dram_basis(dram_arena),
+          mem::TierConfig::nvm_scaled(nvm_cap, cfg.nvm_bw_ratio,
+                                      cfg.nvm_lat_mult)};
+    }
+    n.hms = std::make_unique<mem::HeteroMemory>(hc);
+    n.arbiter = std::make_unique<mem::DramArbiter>(cfg.dram_capacity);
+  }
+  return nodes;
+}
+
+struct PassResult {
+  double time_s = 0;
+  double checksum = 0;
+  std::vector<rt::RuntimeStats> stats;
+  std::map<std::string, baseline::ObjectProfile> profiles;  // offline pass
+};
+
+/// One full SPMD execution under a given placement mode.
+PassResult run_pass(const RunConfig& cfg, Policy policy,
+                    const std::vector<std::string>& manual_dram,
+                    bool record_profile) {
+  auto nodes = make_nodes(cfg, policy == Policy::kDramOnly);
+  mpi::World world(cfg.wcfg.nranks, cfg.net, cfg.ranks_per_node);
+
+  PassResult out;
+  out.stats.resize(static_cast<std::size_t>(cfg.wcfg.nranks));
+  std::vector<double> times(static_cast<std::size_t>(cfg.wcfg.nranks), 0.0);
+  std::vector<double> sums(static_cast<std::size_t>(cfg.wcfg.nranks), 0.0);
+  std::mutex profile_mu;
+
+  world.run([&](mpi::Comm& comm) {
+    const int r = comm.rank();
+    Node& node = nodes[static_cast<std::size_t>(comm.node())];
+    auto workload = wl::make_workload(cfg.workload);
+
+    if (policy == Policy::kUnimem) {
+      rt::RuntimeOptions opts = cfg.unimem;
+      opts.ranks_per_node = cfg.ranks_per_node;
+      rt::Runtime runtime(opts, node.hms.get(), node.arbiter.get(), &comm);
+      sums[r] = workload->run_rank(runtime, cfg.wcfg);
+      out.stats[r] = runtime.stats();
+      times[r] = comm.clock().now();
+    } else {
+      baseline::StaticContextOptions sopts;
+      sopts.timing = cfg.unimem.timing;
+      sopts.cache = cfg.unimem.cache;
+      sopts.use_exact_cache = cfg.unimem.use_exact_cache;
+      sopts.record_profile = record_profile;
+      baseline::PlacementFn place;
+      switch (policy) {
+        case Policy::kDramOnly:
+        case Policy::kNvmOnly:
+          place = baseline::nvm_only();  // DRAM-only differs via tier speed
+          break;
+        default:
+          place = baseline::manual(manual_dram);
+          break;
+      }
+      baseline::StaticContext ctx(sopts, node.hms.get(), node.arbiter.get(),
+                                  &comm, place);
+      sums[r] = workload->run_rank(ctx, cfg.wcfg);
+      times[r] = comm.clock().now();
+      if (record_profile && r == 0) {
+        std::lock_guard<std::mutex> lk(profile_mu);
+        out.profiles = ctx.profiles();
+      }
+    }
+  });
+
+  out.time_s = *std::max_element(times.begin(), times.end());
+  for (double s : sums) out.checksum += s;
+  return out;
+}
+
+}  // namespace
+
+RunResult run_once(const RunConfig& cfg) {
+  std::vector<std::string> manual = cfg.manual_dram;
+  Policy policy = cfg.policy;
+
+  if (policy == Policy::kXMen) {
+    // Offline PIN-style profiling pass: everything in NVM, ground-truth
+    // per-object aggregates recorded; then a static benefit-density
+    // placement for the measured pass.
+    RunConfig prof_cfg = cfg;
+    prof_cfg.wcfg.iterations = std::max(2, cfg.wcfg.iterations / 4);
+    PassResult prof =
+        run_pass(prof_cfg, Policy::kNvmOnly, {}, /*record_profile=*/true);
+    mem::HmsConfig hc{
+        mem::TierConfig::dram_basis(cfg.dram_capacity),
+        mem::TierConfig::nvm_scaled(0, cfg.nvm_bw_ratio, cfg.nvm_lat_mult)};
+    manual = baseline::xmen_placement(
+        prof.profiles, hc,
+        cfg.dram_capacity / static_cast<std::size_t>(cfg.ranks_per_node));
+    policy = Policy::kManual;
+  }
+
+  PassResult pass = run_pass(cfg, policy, manual, false);
+
+  RunResult out;
+  out.time_s = pass.time_s;
+  out.checksum = pass.checksum;
+  if (!pass.stats.empty()) out.stats = pass.stats[0];
+  double overhead = 0, overlap = 0;
+  int n = 0;
+  for (const rt::RuntimeStats& s : pass.stats) {
+    out.total_migrations += s.migration.migrations;
+    out.total_bytes_moved += s.migration.bytes_moved;
+    if (s.total_time_s > 0) {
+      overhead += s.overhead_percent();
+      overlap += s.migration.overlap_percent();
+      ++n;
+    }
+  }
+  if (n > 0) {
+    out.mean_overhead_percent = overhead / n;
+    out.mean_overlap_percent = overlap / n;
+  }
+  return out;
+}
+
+double normalized_time(const RunConfig& cfg, double* dram_time_out) {
+  RunConfig dram = cfg;
+  dram.policy = Policy::kDramOnly;
+  RunResult base = run_once(dram);
+  RunResult r = run_once(cfg);
+  if (dram_time_out != nullptr) *dram_time_out = base.time_s;
+  return base.time_s > 0 ? r.time_s / base.time_s : 0.0;
+}
+
+}  // namespace unimem::exp

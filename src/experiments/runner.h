@@ -1,0 +1,60 @@
+// Experiment runner: executes one (workload, policy, system configuration)
+// combination and reports the virtual execution time and runtime stats.
+// Every bench binary in bench/ is a thin sweep over run_once().
+//
+// Topology: ranks are threads; every `ranks_per_node` consecutive ranks
+// share one simulated node = one HeteroMemory (tier arenas) + one
+// DramArbiter (the user-level DRAM space service).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/runtime.h"
+#include "minimpi/comm.h"
+#include "simmem/hetero_memory.h"
+#include "workloads/workload.h"
+
+namespace unimem::exp {
+
+enum class Policy { kDramOnly, kNvmOnly, kUnimem, kXMen, kManual };
+
+const char* policy_name(Policy p);
+
+struct RunConfig {
+  std::string workload = "cg";
+  wl::WorkloadConfig wcfg{};
+  /// NVM tier relative to DRAM (the paper's sweep axes).
+  double nvm_bw_ratio = 0.5;
+  double nvm_lat_mult = 1.0;
+  /// Node DRAM allowance (paper default 256 MB -> scaled 8 MiB).
+  std::size_t dram_capacity = 8 * kMiB;
+  int ranks_per_node = 1;
+  Policy policy = Policy::kUnimem;
+  /// DRAM-resident object names for Policy::kManual (Fig. 4).
+  std::vector<std::string> manual_dram{};
+  /// Technique switches etc. for Policy::kUnimem.
+  rt::RuntimeOptions unimem{};
+  mpi::NetworkParams net{};
+};
+
+struct RunResult {
+  double time_s = 0;          ///< max rank virtual time (the app's time)
+  double checksum = 0;        ///< reduced workload checksum
+  rt::RuntimeStats stats{};   ///< rank-0 Unimem stats (zero for baselines)
+  /// Sum over ranks (Table 4 reports per-run totals).
+  std::uint64_t total_migrations = 0;
+  std::uint64_t total_bytes_moved = 0;
+  double mean_overhead_percent = 0;
+  double mean_overlap_percent = 0;
+};
+
+/// Run one configuration to completion.  For Policy::kXMen this runs the
+/// offline profiling pass first, then the measured pass.
+RunResult run_once(const RunConfig& cfg);
+
+/// Convenience: time of `cfg` normalized to a DRAM-only run of the same
+/// workload/size (the paper normalizes every figure this way).
+double normalized_time(const RunConfig& cfg, double* dram_time_out = nullptr);
+
+}  // namespace unimem::exp

@@ -1,0 +1,25 @@
+// Alpha-beta communication cost model for the simulated interconnect.
+#pragma once
+
+#include <cmath>
+#include <cstddef>
+
+namespace unimem::mpi {
+
+struct NetworkParams {
+  double alpha_s = 2e-6;   ///< per-message latency (seconds)
+  double beta_bps = 5e9;   ///< link bandwidth (bytes/second)
+
+  /// Point-to-point message cost.
+  double p2p_cost(std::size_t bytes) const {
+    return alpha_s + static_cast<double>(bytes) / beta_bps;
+  }
+
+  /// Tree-structured collective over `p` ranks moving `bytes` per rank.
+  double collective_cost(std::size_t bytes, int p) const {
+    int rounds = p <= 1 ? 0 : static_cast<int>(std::ceil(std::log2(p)));
+    return rounds * p2p_cost(bytes);
+  }
+};
+
+}  // namespace unimem::mpi

@@ -1,0 +1,52 @@
+#include "perfmon/sampler.h"
+
+#include <algorithm>
+
+#include "common/units.h"
+
+namespace unimem::perf {
+
+PhaseSamples Sampler::sample_phase(const std::vector<MemWindow>& windows,
+                                   double compute_time_s,
+                                   double phase_time_s) {
+  PhaseSamples out;
+  const double period = params_.sample_period_s();
+  if (phase_time_s <= 0 || period <= 0) return out;
+
+  for (const auto& w : windows) out.total_miss_count += w.misses;
+
+  // Lay the windows on the phase timeline after the compute segment.
+  // (The real interleaving does not matter: only the *fraction* of time a
+  // region has in-flight misses feeds Eq. 1, and that is preserved.)
+  struct Segment {
+    double begin, end;
+    const MemWindow* w;
+  };
+  std::vector<Segment> segs;
+  segs.reserve(windows.size());
+  double t = compute_time_s;
+  for (const auto& w : windows) {
+    segs.push_back({t, t + w.mem_time_s, &w});
+    t += w.mem_time_s;
+  }
+
+  out.total_samples = static_cast<std::uint64_t>(phase_time_s / period);
+  // Jittered sampling start, as on real hardware.
+  double sample_t = rng_.uniform() * period;
+  std::size_t seg_idx = 0;
+  for (std::uint64_t i = 0; i < out.total_samples; ++i, sample_t += period) {
+    while (seg_idx < segs.size() && sample_t >= segs[seg_idx].end) ++seg_idx;
+    if (seg_idx >= segs.size()) break;           // tail of the phase
+    const Segment& s = segs[seg_idx];
+    if (sample_t < s.begin) continue;            // inside the compute segment
+    if (s.w->misses == 0 || s.w->region_bytes == 0) continue;
+    // A memory-bound window keeps misses in flight essentially all the time;
+    // sample a uniformly random line address within the region.
+    std::uint64_t line =
+        rng_.below(std::max<std::uint64_t>(1, s.w->region_bytes / kCacheLine));
+    out.miss_addresses.push_back(s.w->region_base + line * kCacheLine);
+  }
+  return out;
+}
+
+}  // namespace unimem::perf

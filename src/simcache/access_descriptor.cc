@@ -1,0 +1,66 @@
+#include "simcache/access_descriptor.h"
+
+#include <algorithm>
+
+#include "common/units.h"
+
+namespace unimem::cache {
+
+std::uint64_t AccessDescriptor::footprint_lines() const {
+  if (region_bytes == 0) return 0;
+  if (pattern == Pattern::kStrided && stride_bytes > access_bytes) {
+    // Only every stride-th chunk is touched; distinct lines is the number of
+    // strided slots, capped by the number of lines in the region.
+    std::uint64_t slots = region_bytes / std::max<std::size_t>(stride_bytes, 1);
+    std::uint64_t touched_per_slot =
+        (access_bytes + kCacheLine - 1) / kCacheLine;
+    if (stride_bytes < kCacheLine) return lines_of(region_bytes);
+    return std::min<std::uint64_t>(lines_of(region_bytes),
+                                   std::max<std::uint64_t>(slots, 1) *
+                                       std::max<std::uint64_t>(touched_per_slot, 1));
+  }
+  return lines_of(region_bytes);
+}
+
+std::uint64_t AccessDescriptor::line_touches() const {
+  switch (pattern) {
+    case Pattern::kSequential: {
+      // Consecutive elements share lines.
+      std::uint64_t per_line = std::max<std::uint64_t>(1, kCacheLine / access_bytes);
+      return (accesses + per_line - 1) / per_line;
+    }
+    case Pattern::kStrided: {
+      if (stride_bytes >= kCacheLine) return accesses;
+      std::uint64_t per_line =
+          std::max<std::uint64_t>(1, kCacheLine / std::max<std::size_t>(stride_bytes, 1));
+      return (accesses + per_line - 1) / per_line;
+    }
+    case Pattern::kRandom:
+    case Pattern::kGather:
+    case Pattern::kPointerChase:
+      return accesses;  // each access lands on an (effectively) fresh line
+  }
+  return accesses;
+}
+
+int effective_mlp(const AccessDescriptor& d, int default_mlp) {
+  if (d.pattern == Pattern::kPointerChase) return 1;
+  if (d.mlp > 0) return d.mlp;
+  switch (d.pattern) {
+    case Pattern::kSequential:
+      return default_mlp;  // streams prefetch well: bandwidth-bound
+    case Pattern::kStrided:
+      // Constant strides are detected by hardware prefetchers just like
+      // unit strides; the stream stays bandwidth-bound (it just wastes
+      // line bandwidth, which the miss accounting already charges).
+      return default_mlp;
+    case Pattern::kRandom:
+    case Pattern::kGather:
+      return std::max(2, default_mlp / 4);  // MSHR-limited: latency-leaning
+    case Pattern::kPointerChase:
+      return 1;
+  }
+  return default_mlp;
+}
+
+}  // namespace unimem::cache

@@ -1,0 +1,93 @@
+// Access descriptors: the language in which workloads tell the memory
+// substrate *how* a phase touches a data object.
+//
+// The paper's preliminary study (§2, Observation 3) establishes that what
+// matters for placement is the per-object access pattern: streaming-like
+// patterns with massive independent misses are *bandwidth sensitive*, while
+// dependent-access patterns (pointer chasing) are *latency sensitive*.
+// Descriptors capture exactly these distinctions and drive both the cache
+// model (miss counts) and the timing model (overlap/serialization).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace unimem::cache {
+
+enum class Pattern : int {
+  kSequential,    ///< unit-stride stream over the region
+  kStrided,       ///< fixed stride >= one element
+  kRandom,        ///< independent uniform-random accesses
+  kGather,        ///< index-driven gather (independent, random-like)
+  kPointerChase,  ///< dependent chain: each access needs the previous one
+};
+
+inline const char* pattern_name(Pattern p) {
+  switch (p) {
+    case Pattern::kSequential: return "sequential";
+    case Pattern::kStrided: return "strided";
+    case Pattern::kRandom: return "random";
+    case Pattern::kGather: return "gather";
+    case Pattern::kPointerChase: return "pointer-chase";
+  }
+  return "?";
+}
+
+struct AccessDescriptor {
+  /// Base address of the touched region (the live allocation of the object
+  /// or chunk; re-resolved every phase so migration is observed).
+  const void* base = nullptr;
+  /// Region length in bytes.
+  std::size_t region_bytes = 0;
+  Pattern pattern = Pattern::kSequential;
+  /// Number of element accesses the phase performs on this region.
+  std::uint64_t accesses = 0;
+  /// Element size in bytes (8 for double).
+  std::uint32_t access_bytes = 8;
+  /// Stride in bytes between consecutive accesses (kStrided only).
+  std::size_t stride_bytes = 64;
+  /// Fraction of accesses that are writes, in [0,1].
+  double write_fraction = 0.0;
+  /// Memory-level-parallelism override; 0 = pattern default
+  /// (kPointerChase is always 1: accesses are dependent).
+  int mlp = 0;
+  /// Seed for randomized patterns; fixed => deterministic.
+  std::uint64_t seed = 1;
+  /// When this descriptor is one chunk's slice of a larger logical
+  /// traversal, the full traversal's size in bytes (0 = region_bytes).
+  /// Cache-fit decisions must use the logical size: fourteen 1 MiB chunk
+  /// slices of one streamed 14 MiB array do NOT each fit in a 1 MiB LLC.
+  std::size_t logical_bytes = 0;
+
+  std::size_t effective_logical_bytes() const {
+    return logical_bytes != 0 ? logical_bytes : region_bytes;
+  }
+
+  /// Distinct cache lines this descriptor's footprint covers.
+  std::uint64_t footprint_lines() const;
+  /// Total cache-line touches the access stream generates.
+  std::uint64_t line_touches() const;
+};
+
+/// Result of running one descriptor through a cache model.
+struct AccessResult {
+  std::uint64_t line_touches = 0;
+  std::uint64_t misses = 0;  ///< LLC misses -> main-memory line transfers
+  /// Misses that are on the critical path (cannot overlap each other).
+  /// For independent patterns ~ misses/MLP; for pointer chasing == misses.
+  double serialized_misses = 0;
+
+  std::uint64_t bytes_from_memory() const { return misses * 64; }
+
+  AccessResult& operator+=(const AccessResult& o) {
+    line_touches += o.line_touches;
+    misses += o.misses;
+    serialized_misses += o.serialized_misses;
+    return *this;
+  }
+};
+
+/// Effective MLP for a pattern (how many outstanding misses overlap).
+int effective_mlp(const AccessDescriptor& d, int default_mlp);
+
+}  // namespace unimem::cache

@@ -1,0 +1,29 @@
+// Analytic cache model: closed-form LLC miss estimates per descriptor.
+//
+// The exact simulator costs O(#line-touches); the benches sweep dozens of
+// configurations over multi-megabyte footprints, so they use this O(1)
+// model instead.  The estimates follow standard capacity-miss reasoning:
+//   * streaming over a region larger than the cache misses on every line;
+//   * a region that fits is cold-missed once and then hits;
+//   * random access to an oversized region misses with probability
+//     ~ (1 - cache/region) in steady state.
+// tests/simcache_test.cc checks agreement with ExactCache across patterns.
+#pragma once
+
+#include "simcache/cache_model.h"
+
+namespace unimem::cache {
+
+class AnalyticCache final : public CacheModel {
+ public:
+  explicit AnalyticCache(CacheConfig cfg = CacheConfig{}) : cfg_(cfg) {}
+
+  AccessResult process(const AccessDescriptor& d, int default_mlp) override;
+  void reset() override {}
+  const CacheConfig& config() const override { return cfg_; }
+
+ private:
+  CacheConfig cfg_;
+};
+
+}  // namespace unimem::cache

@@ -1,0 +1,101 @@
+#include "simcache/exact_cache.h"
+
+#include <algorithm>
+
+#include "common/rng.h"
+#include "common/units.h"
+
+namespace unimem::cache {
+
+ExactCache::ExactCache(CacheConfig cfg)
+    : cfg_(cfg),
+      sets_(cfg.num_sets()),
+      tags_(sets_ * cfg.ways, 0),
+      lru_(sets_ * cfg.ways, 0) {}
+
+void ExactCache::reset() {
+  std::fill(tags_.begin(), tags_.end(), 0);
+  std::fill(lru_.begin(), lru_.end(), 0);
+  stamp_ = 0;
+}
+
+bool ExactCache::touch(std::uint64_t addr) {
+  const std::uint64_t line = addr / cfg_.line_bytes;
+  const std::size_t set = line % sets_;
+  const std::uint64_t tag = line / sets_ + 1;  // +1 so 0 stays "invalid"
+  std::uint64_t* t = &tags_[set * cfg_.ways];
+  std::uint64_t* u = &lru_[set * cfg_.ways];
+  ++stamp_;
+  int victim = 0;
+  for (int w = 0; w < cfg_.ways; ++w) {
+    if (t[w] == tag) {  // hit
+      u[w] = stamp_;
+      return false;
+    }
+    if (u[w] < u[victim]) victim = w;
+  }
+  t[victim] = tag;  // miss: fill
+  u[victim] = stamp_;
+  return true;
+}
+
+AccessResult ExactCache::process(const AccessDescriptor& d, int default_mlp) {
+  AccessResult r;
+  if (d.accesses == 0 || d.region_bytes == 0 || d.base == nullptr) return r;
+  const auto base = reinterpret_cast<std::uint64_t>(d.base);
+  Rng rng(d.seed * 0x2545F4914F6CDD1Dull + 7);
+
+  auto touch_count = [&](std::uint64_t addr) {
+    ++r.line_touches;
+    if (touch(addr)) ++r.misses;
+  };
+
+  switch (d.pattern) {
+    case Pattern::kSequential: {
+      // Stream through the region at line granularity, wrapping around for
+      // multiple passes.
+      const std::uint64_t touches = d.line_touches();
+      const std::uint64_t region_lines = lines_of(d.region_bytes);
+      for (std::uint64_t i = 0; i < touches; ++i) {
+        std::uint64_t line_idx = i % region_lines;
+        touch_count(base + line_idx * kCacheLine);
+      }
+      break;
+    }
+    case Pattern::kStrided: {
+      const std::uint64_t slots =
+          std::max<std::uint64_t>(1, d.region_bytes / std::max<std::size_t>(d.stride_bytes, 1));
+      for (std::uint64_t i = 0; i < d.accesses; ++i) {
+        std::uint64_t slot = i % slots;
+        touch_count(base + slot * d.stride_bytes);
+      }
+      break;
+    }
+    case Pattern::kRandom:
+    case Pattern::kGather: {
+      const std::uint64_t region_lines = lines_of(d.region_bytes);
+      for (std::uint64_t i = 0; i < d.accesses; ++i) {
+        std::uint64_t line_idx = rng.below(region_lines);
+        touch_count(base + line_idx * kCacheLine);
+      }
+      break;
+    }
+    case Pattern::kPointerChase: {
+      // A chase visits lines in a pseudo-random dependent order; for miss
+      // accounting the address stream is random within the region.
+      const std::uint64_t region_lines = lines_of(d.region_bytes);
+      std::uint64_t line_idx = rng.below(region_lines);
+      for (std::uint64_t i = 0; i < d.accesses; ++i) {
+        touch_count(base + line_idx * kCacheLine);
+        line_idx = (line_idx * 6364136223846793005ull + rng.below(region_lines)) %
+                   region_lines;
+      }
+      break;
+    }
+  }
+  r.serialized_misses =
+      static_cast<double>(r.misses) / effective_mlp(d, default_mlp);
+  return r;
+}
+
+}  // namespace unimem::cache

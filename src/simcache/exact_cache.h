@@ -1,0 +1,35 @@
+// Exact set-associative LRU last-level-cache simulator.
+//
+// Ground truth for the analytic model and the engine used by unit tests and
+// small examples.  Works at cache-line granularity; the address streams are
+// generated from the descriptor deterministically (seeded).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "simcache/cache_model.h"
+
+namespace unimem::cache {
+
+class ExactCache final : public CacheModel {
+ public:
+  explicit ExactCache(CacheConfig cfg = CacheConfig{});
+
+  AccessResult process(const AccessDescriptor& d, int default_mlp) override;
+  void reset() override;
+  const CacheConfig& config() const override { return cfg_; }
+
+  /// Touch a single byte address; returns true on miss.  Exposed for tests.
+  bool touch(std::uint64_t addr);
+
+ private:
+  CacheConfig cfg_;
+  std::size_t sets_;
+  // tags_[set * ways + way]; 0 means invalid.  lru_ holds last-use stamps.
+  std::vector<std::uint64_t> tags_;
+  std::vector<std::uint64_t> lru_;
+  std::uint64_t stamp_ = 0;
+};
+
+}  // namespace unimem::cache

@@ -1,0 +1,38 @@
+// Global timing parameters of the simulated node: CPU speed, achievable
+// floating-point rate, default memory-level parallelism, and the
+// perf-counter sampling interval (in cycles, as on real PEBS/IBS setups).
+#pragma once
+
+#include <cstdint>
+
+namespace unimem::clk {
+
+struct TimingParams {
+  /// CPU core frequency (Hz).  Platform A in the paper: 2.4 GHz Xeon E5.
+  double cpu_freq_hz = 2.4e9;
+
+  /// Sustained FLOP rate used to charge compute time (FLOP/s); reflects
+  /// SIMD execution on the Xeon E5 class hardware the paper uses.
+  double flops_per_sec = 9.6e9;
+
+  /// Memory-level parallelism of a prefetch-friendly unit-stride stream:
+  /// how many outstanding misses the core + prefetchers overlap.  With the
+  /// DRAM basis (80 ns, 12.8 GB/s) the bandwidth term dominates once
+  /// MLP > lat*bw/64B = 16, so streams (MLP 32) are bandwidth-bound and
+  /// irregular patterns (MLP ~8, see effective_mlp) are latency-leaning.
+  /// Dependent (pointer-chasing) chains always use MLP = 1.
+  int default_mlp = 32;
+
+  /// Hardware-counter sampling interval in CPU cycles (paper: 1000).
+  std::uint64_t sample_interval_cycles = 1000;
+
+  /// Seconds per sample at the configured frequency.
+  double sample_period_s() const {
+    return static_cast<double>(sample_interval_cycles) / cpu_freq_hz;
+  }
+
+  /// Seconds to execute `flops` floating point operations.
+  double compute_seconds(double flops) const { return flops / flops_per_sec; }
+};
+
+}  // namespace unimem::clk

@@ -1,0 +1,64 @@
+// First-fit free-list arena allocator over one contiguous buffer.
+//
+// The paper's user-level DRAM service uses "a simple memory allocator
+// without consideration of memory allocation efficiency and fragmentation,
+// because we expect that data movement should not be frequent".  This arena
+// is that allocator: correct, thread-safe, O(#free-blocks) per operation.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <cstdlib>
+#include <map>
+#include <memory>
+#include <mutex>
+
+namespace unimem::mem {
+
+class Arena {
+ public:
+  explicit Arena(std::size_t capacity);
+  ~Arena() = default;
+
+  Arena(const Arena&) = delete;
+  Arena& operator=(const Arena&) = delete;
+
+  /// Allocate `bytes` (rounded up to cache-line multiple), 64-byte aligned.
+  /// Returns nullptr when no free block fits.
+  void* allocate(std::size_t bytes);
+
+  /// Release a block previously returned by allocate().  Coalesces with
+  /// free neighbours.  Passing a pointer not owned by this arena aborts.
+  void deallocate(void* p);
+
+  /// True if `p` lies inside this arena's buffer.
+  bool contains(const void* p) const;
+
+  std::size_t capacity() const { return capacity_; }
+  std::size_t used() const;
+  std::size_t peak_used() const;
+  std::size_t free_bytes() const;
+  /// Number of live allocations.
+  std::size_t live_blocks() const;
+  /// Largest single block currently allocatable.
+  std::size_t largest_free_block() const;
+
+ private:
+  struct FreeDeleter {
+    void operator()(std::byte* p) const noexcept { std::free(p); }
+  };
+
+  std::size_t capacity_;
+  /// malloc'd, NOT value-initialized: an untouched tier costs no resident
+  /// pages, so large simulated NVM tiers stay cheap on the host.
+  std::unique_ptr<std::byte[], FreeDeleter> buffer_;
+  std::size_t base_shift_ = 0;  ///< offset of the aligned usable region
+  mutable std::mutex mu_;
+  // offset -> length, for free and live blocks respectively.
+  std::map<std::size_t, std::size_t> free_;
+  std::map<std::size_t, std::size_t> live_;
+  std::size_t used_ = 0;
+  std::size_t peak_ = 0;
+};
+
+}  // namespace unimem::mem

@@ -1,0 +1,56 @@
+// User-level DRAM space service.
+//
+// Paper §3.3: "To manage the DRAM space, we avoid making any change to the
+// OS, and introduce a user-level service.  Each node runs an instance of
+// such service.  The service coordinates the DRAM allocation from multiple
+// MPI processes on the same node ... and bounds the memory allocation
+// within the DRAM space allowance."
+//
+// One DramArbiter instance is shared by all ranks mapped to the same
+// simulated node; every DRAM allocation a rank's runtime makes must first be
+// granted here.
+#pragma once
+
+#include <cstddef>
+#include <mutex>
+
+namespace unimem::mem {
+
+class DramArbiter {
+ public:
+  explicit DramArbiter(std::size_t node_allowance)
+      : allowance_(node_allowance) {}
+
+  /// Try to reserve `bytes` of node DRAM; false if over allowance.
+  bool request(std::size_t bytes) {
+    std::lock_guard<std::mutex> lk(mu_);
+    if (granted_ + bytes > allowance_) return false;
+    granted_ += bytes;
+    return true;
+  }
+
+  /// Return previously granted bytes.
+  void release(std::size_t bytes) {
+    std::lock_guard<std::mutex> lk(mu_);
+    granted_ = bytes > granted_ ? 0 : granted_ - bytes;
+  }
+
+  std::size_t allowance() const { return allowance_; }
+
+  std::size_t granted() const {
+    std::lock_guard<std::mutex> lk(mu_);
+    return granted_;
+  }
+
+  std::size_t available() const {
+    std::lock_guard<std::mutex> lk(mu_);
+    return allowance_ - granted_;
+  }
+
+ private:
+  std::size_t allowance_;
+  mutable std::mutex mu_;
+  std::size_t granted_ = 0;
+};
+
+}  // namespace unimem::mem

@@ -1,0 +1,29 @@
+#include "simmem/hetero_memory.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+
+namespace unimem::mem {
+
+HeteroMemory::HeteroMemory(HmsConfig cfg)
+    : cfg_(std::move(cfg)),
+      dram_(std::make_unique<Arena>(cfg_.dram.capacity_bytes)),
+      nvm_(std::make_unique<Arena>(cfg_.nvm.capacity_bytes)) {}
+
+Tier HeteroMemory::tier_of(const void* p) const {
+  if (dram_->contains(p)) return Tier::kDram;
+  if (nvm_->contains(p)) return Tier::kNvm;
+  std::fprintf(stderr, "HeteroMemory::tier_of: unknown pointer\n");
+  std::abort();
+}
+
+double HeteroMemory::copy_bandwidth(Tier from, Tier to) const {
+  return std::min(tier_config(from).read_bw, tier_config(to).write_bw);
+}
+
+double HeteroMemory::copy_seconds(std::size_t bytes, Tier from, Tier to) const {
+  return static_cast<double>(bytes) / copy_bandwidth(from, to);
+}
+
+}  // namespace unimem::mem

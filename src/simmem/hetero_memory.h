@@ -1,0 +1,80 @@
+// The heterogeneous main-memory system (HMS): one small fast DRAM tier and
+// one large slow NVM tier sharing a physical address space (two arenas in
+// the host process).  Provides tier-tagged allocation and the inter-tier
+// copy-cost model used by the migration engine (paper Eq. 4's
+// `data_size / mem_copy_bw` term).
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <string>
+
+#include "simmem/arena.h"
+#include "simmem/tier_config.h"
+
+namespace unimem::mem {
+
+enum class Tier : int { kDram = 0, kNvm = 1 };
+
+inline const char* tier_name(Tier t) {
+  return t == Tier::kDram ? "DRAM" : "NVM";
+}
+
+inline Tier other_tier(Tier t) {
+  return t == Tier::kDram ? Tier::kNvm : Tier::kDram;
+}
+
+struct HmsConfig {
+  TierConfig dram;
+  TierConfig nvm;
+
+  /// Evaluation default: 8 MiB DRAM + 512 MiB NVM (the paper's 256 MB DRAM /
+  /// 16 GB NVM scaled by 32x; see DESIGN.md §5), NVM at `bw_ratio` of DRAM
+  /// bandwidth and `lat_mult` of DRAM latency.
+  static HmsConfig scaled(double bw_ratio, double lat_mult,
+                          std::size_t dram_cap = 8 * kMiB,
+                          std::size_t nvm_cap = 512 * kMiB) {
+    return HmsConfig{TierConfig::dram_basis(dram_cap),
+                     TierConfig::nvm_scaled(nvm_cap, bw_ratio, lat_mult)};
+  }
+
+  /// DRAM-only system: both tiers are DRAM-speed (placement irrelevant).
+  static HmsConfig dram_only(std::size_t cap = 512 * kMiB) {
+    return HmsConfig{TierConfig::dram_basis(cap),
+                     TierConfig::nvm_scaled(cap, 1.0, 1.0)};
+  }
+};
+
+class HeteroMemory {
+ public:
+  explicit HeteroMemory(HmsConfig cfg);
+
+  const HmsConfig& config() const { return cfg_; }
+  const TierConfig& tier_config(Tier t) const {
+    return t == Tier::kDram ? cfg_.dram : cfg_.nvm;
+  }
+
+  Arena& arena(Tier t) { return t == Tier::kDram ? *dram_ : *nvm_; }
+  const Arena& arena(Tier t) const { return t == Tier::kDram ? *dram_ : *nvm_; }
+
+  /// Allocate in the requested tier; nullptr if it does not fit.
+  void* allocate(Tier t, std::size_t bytes) { return arena(t).allocate(bytes); }
+  void deallocate(Tier t, void* p) { arena(t).deallocate(p); }
+
+  /// Which tier owns pointer `p`?  Aborts if neither does.
+  Tier tier_of(const void* p) const;
+
+  /// Modeled seconds to copy `bytes` from `from` to `to`: limited by the
+  /// source read bandwidth and destination write bandwidth.
+  double copy_seconds(std::size_t bytes, Tier from, Tier to) const;
+
+  /// Memory-copy bandwidth between the tiers (bytes/s), direction-aware.
+  double copy_bandwidth(Tier from, Tier to) const;
+
+ private:
+  HmsConfig cfg_;
+  std::unique_ptr<Arena> dram_;
+  std::unique_ptr<Arena> nvm_;
+};
+
+}  // namespace unimem::mem

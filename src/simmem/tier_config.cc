@@ -1,0 +1,20 @@
+#include "simmem/tier_config.h"
+
+namespace unimem::mem {
+
+namespace {
+// Paper Table 1 (from Suzuki & Swanson, NVMDB survey of 340 papers).
+const NvmTechnology kTable1[] = {
+    {"DRAM", 10, 10, 10, 10, 1000, 1000, 900, 900},
+    {"STT-RAM (ITRS'13)", 60, 60, 80, 80, 800, 800, 600, 600},
+    {"PCRAM", 20, 200, 80, 10000, 200, 800, 100, 800},
+    {"ReRAM", 10, 1000, 10, 10000, 20, 100, 1, 8},
+};
+}  // namespace
+
+const NvmTechnology* table1_technologies(std::size_t* count) {
+  *count = sizeof(kTable1) / sizeof(kTable1[0]);
+  return kTable1;
+}
+
+}  // namespace unimem::mem

@@ -1,0 +1,79 @@
+// Memory-tier performance/capacity descriptions.
+//
+// The paper (Table 1, from the UCSD NVMDB survey) characterizes candidate
+// NVM technologies by read/write latency and random read/write bandwidth.
+// Its evaluation then sweeps NVM as *ratios* of DRAM: 1/2..1/8 bandwidth and
+// 2x..8x latency (Quartz can emulate one axis at a time), plus a NUMA-based
+// emulation with 0.6x bandwidth and 1.89x latency used on Edison.
+//
+// We model a tier with four numbers (read/write latency, read/write
+// bandwidth) and provide both the published Table 1 presets and the
+// ratio-derived configurations the evaluation actually uses.
+#pragma once
+
+#include <cstddef>
+#include <string>
+
+#include "common/units.h"
+
+namespace unimem::mem {
+
+struct TierConfig {
+  std::string name;
+  std::size_t capacity_bytes = 0;
+  double read_latency_s = 0;   ///< per-cacheline load-to-use latency
+  double write_latency_s = 0;  ///< per-cacheline write latency
+  double read_bw = 0;          ///< sustained read bandwidth (bytes/s)
+  double write_bw = 0;         ///< sustained write bandwidth (bytes/s)
+
+  /// DRAM basis used throughout the evaluation.  Absolute values are a
+  /// plausible single-socket DDR4 operating point; only the *ratios* of the
+  /// NVM configurations below matter for the reproduced results.
+  static TierConfig dram_basis(std::size_t capacity) {
+    return TierConfig{"DRAM", capacity, unimem::ns(80), unimem::ns(80),
+                      unimem::gbps(12.8), unimem::gbps(9.6)};
+  }
+
+  /// NVM derived from the DRAM basis by scaling bandwidth down by
+  /// `bw_ratio` (e.g. 0.5 = "1/2 DRAM bandwidth") and latency up by
+  /// `lat_mult` (e.g. 4.0 = "4x DRAM latency").  The paper's Quartz setup
+  /// changes one axis at a time; pass 1.0 for the axis left untouched.
+  static TierConfig nvm_scaled(std::size_t capacity, double bw_ratio,
+                               double lat_mult) {
+    TierConfig d = dram_basis(capacity);
+    return TierConfig{"NVM", capacity, d.read_latency_s * lat_mult,
+                      d.write_latency_s * lat_mult, d.read_bw * bw_ratio,
+                      d.write_bw * bw_ratio};
+  }
+
+  /// NUMA-emulated NVM used for the strong-scaling tests on Edison:
+  /// "the emulated NVM has 60% of DRAM bandwidth and 1.89x of DRAM latency".
+  static TierConfig nvm_numa_emulated(std::size_t capacity) {
+    return nvm_scaled(capacity, 0.60, 1.89);
+  }
+};
+
+/// A published NVM technology data point (paper Table 1).  Latencies and
+/// bandwidths are ranges for PCRAM/ReRAM; lo == hi for point values.
+struct NvmTechnology {
+  std::string name;
+  double read_ns_lo, read_ns_hi;
+  double write_ns_lo, write_ns_hi;
+  double rand_read_mbps_lo, rand_read_mbps_hi;
+  double rand_write_mbps_lo, rand_write_mbps_hi;
+
+  /// Midpoint tier derived from the published ranges.
+  TierConfig midpoint_tier(std::size_t capacity) const {
+    auto mid = [](double lo, double hi) { return 0.5 * (lo + hi); };
+    return TierConfig{name, capacity,
+                      unimem::ns(mid(read_ns_lo, read_ns_hi)),
+                      unimem::ns(mid(write_ns_lo, write_ns_hi)),
+                      unimem::mbps(mid(rand_read_mbps_lo, rand_read_mbps_hi)),
+                      unimem::mbps(mid(rand_write_mbps_lo, rand_write_mbps_hi))};
+  }
+};
+
+/// The four rows of Table 1.
+const NvmTechnology* table1_technologies(std::size_t* count);
+
+}  // namespace unimem::mem

@@ -1,0 +1,77 @@
+#include "workloads/kernels.h"
+
+#include <algorithm>
+#include <cstring>
+
+namespace unimem::wl {
+
+void fill_pattern(std::span<double> a, std::uint64_t seed) {
+  Rng rng(seed);
+  for (std::size_t i = 0; i < a.size(); i += kTouchStride)
+    a[i] = rng.uniform(-1.0, 1.0);
+}
+
+double axpy_touch(std::span<double> y, std::span<const double> x,
+                  double alpha) {
+  double acc = 0;
+  std::size_t n = std::min(y.size(), x.size());
+  for (std::size_t i = 0; i < n; i += kTouchStride) {
+    y[i] += alpha * x[i];
+    acc += y[i];
+  }
+  return acc;
+}
+
+double sum_touch(std::span<const double> a) {
+  double acc = 0;
+  for (std::size_t i = 0; i < a.size(); i += kTouchStride) acc += a[i];
+  return acc;
+}
+
+double stencil_touch(std::span<double> a, std::size_t stride) {
+  if (a.size() < 2 * stride + 1) return 0;
+  double acc = 0;
+  for (std::size_t i = stride; i + stride < a.size();
+       i += kTouchStride * stride) {
+    a[i] = 0.5 * a[i] + 0.25 * (a[i - stride] + a[i + stride]);
+    acc += a[i];
+  }
+  return acc;
+}
+
+double gather_touch(std::span<const double> a,
+                    std::span<const std::int32_t> idx) {
+  if (a.empty() || idx.empty()) return 0;
+  double acc = 0;
+  for (std::size_t i = 0; i < idx.size(); i += kTouchStride) {
+    auto j = static_cast<std::size_t>(
+                 idx[i] < 0 ? -idx[i] : idx[i]) %
+             a.size();
+    acc += a[j];
+  }
+  return acc;
+}
+
+double sum_object(rt::DataObject& obj) {
+  double acc = 0;
+  for_each_chunk(obj, [&](std::span<double> s) { acc += sum_touch(s); });
+  return acc;
+}
+
+void fill_object(rt::DataObject& obj, std::uint64_t seed) {
+  std::uint64_t s = seed;
+  for_each_chunk(obj, [&](std::span<double> sp) { fill_pattern(sp, s++); });
+}
+
+void ring_exchange(mpi::Comm& comm, rt::DataObject& out, rt::DataObject& in,
+                   std::size_t payload_bytes, int tag) {
+  const int p = comm.size();
+  const int dst = (comm.rank() + 1) % p;
+  const int src = (comm.rank() + p - 1) % p;
+  const std::size_t bytes =
+      std::min({payload_bytes, out.chunk(0).bytes, in.chunk(0).bytes});
+  comm.sendrecv(out.chunk(0).data(), bytes, dst, in.chunk(0).data(), bytes,
+                src, tag);
+}
+
+}  // namespace unimem::wl

@@ -1,0 +1,100 @@
+// Shared real-arithmetic kernels for the workloads.  These touch the
+// actual object payloads (with a stride, to bound host cost) so that a
+// migration that corrupted or mis-repointed a buffer changes the checksum.
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+#include "common/rng.h"
+#include "core/exec_engine.h"
+#include "core/object.h"
+#include "minimpi/comm.h"
+
+namespace unimem::wl {
+
+inline constexpr std::size_t kTouchStride = 8;  ///< touch every 8th element
+
+/// Deterministically fill a span with values derived from `seed`.
+void fill_pattern(std::span<double> a, std::uint64_t seed);
+
+/// y[i] += alpha * x[i] over the strided sample; returns sum of updates.
+double axpy_touch(std::span<double> y, std::span<const double> x,
+                  double alpha);
+
+/// Sum over the strided sample.
+double sum_touch(std::span<const double> a);
+
+/// Strided stencil-ish update: a[i] = 0.5*a[i] + 0.25*(a[i-s]+a[i+s]).
+double stencil_touch(std::span<double> a, std::size_t stride);
+
+/// Gather: acc += a[idx[i] % a.size()] over a strided sample of idx.
+double gather_touch(std::span<const double> a,
+                    std::span<const std::int32_t> idx);
+
+/// Apply fn(span) to every chunk of a (possibly chunked) object.
+template <typename Fn>
+void for_each_chunk(rt::DataObject& obj, Fn&& fn) {
+  for (std::size_t c = 0; c < obj.chunk_count(); ++c)
+    fn(obj.chunk_span<double>(c));
+}
+
+/// Sum over all chunks.
+double sum_object(rt::DataObject& obj);
+
+/// Fill all chunks deterministically.
+void fill_object(rt::DataObject& obj, std::uint64_t seed);
+
+/// Ring sendrecv: pack `payload_bytes` from `out` to the right neighbour,
+/// receive into `in` from the left.  Blocking => one communication phase.
+void ring_exchange(mpi::Comm& comm, rt::DataObject& out, rt::DataObject& in,
+                   std::size_t payload_bytes, int tag);
+
+/// Fluent builder for the access-descriptor list of one phase.
+class WorkBuilder {
+ public:
+  WorkBuilder& flops(double f) {
+    w_.flops += f;
+    return *this;
+  }
+  /// Unit-stride stream (high MLP => bandwidth-sensitive when large).
+  WorkBuilder& seq(rt::DataObject* o, std::uint64_t n, double wf = 0.0,
+                   int mlp = 0) {
+    return push(o, cache::Pattern::kSequential, n, 64, wf, mlp);
+  }
+  /// Fixed-stride sweep.
+  WorkBuilder& strided(rt::DataObject* o, std::uint64_t n, std::size_t stride,
+                       double wf = 0.0) {
+    return push(o, cache::Pattern::kStrided, n, stride, wf, 0);
+  }
+  /// Independent random accesses.
+  WorkBuilder& random(rt::DataObject* o, std::uint64_t n, double wf = 0.0) {
+    return push(o, cache::Pattern::kRandom, n, 64, wf, 0);
+  }
+  /// Index-driven gather.
+  WorkBuilder& gather(rt::DataObject* o, std::uint64_t n) {
+    return push(o, cache::Pattern::kGather, n, 64, 0.0, 0);
+  }
+  /// Dependent chain (latency-sensitive).
+  WorkBuilder& chase(rt::DataObject* o, std::uint64_t n) {
+    return push(o, cache::Pattern::kPointerChase, n, 64, 0.0, 0);
+  }
+  const rt::PhaseWork& work() const { return w_; }
+
+ private:
+  WorkBuilder& push(rt::DataObject* o, cache::Pattern p, std::uint64_t n,
+                    std::size_t stride, double wf, int mlp) {
+    rt::ObjectAccess a;
+    a.object = o;
+    a.pattern = p;
+    a.accesses = n;
+    a.stride_bytes = stride;
+    a.write_fraction = wf;
+    a.mlp = mlp;
+    w_.accesses.push_back(a);
+    return *this;
+  }
+  rt::PhaseWork w_;
+};
+
+}  // namespace unimem::wl

@@ -1,0 +1,30 @@
+#include "workloads/workload.h"
+
+#include <stdexcept>
+
+namespace unimem::wl {
+
+std::unique_ptr<Workload> make_cg();
+std::unique_ptr<Workload> make_ft();
+std::unique_ptr<Workload> make_bt();
+std::unique_ptr<Workload> make_lu();
+std::unique_ptr<Workload> make_sp();
+std::unique_ptr<Workload> make_mg();
+std::unique_ptr<Workload> make_nek();
+
+std::unique_ptr<Workload> make_workload(const std::string& name) {
+  if (name == "cg") return make_cg();
+  if (name == "ft") return make_ft();
+  if (name == "bt") return make_bt();
+  if (name == "lu") return make_lu();
+  if (name == "sp") return make_sp();
+  if (name == "mg") return make_mg();
+  if (name == "nek") return make_nek();
+  throw std::invalid_argument("unknown workload: " + name);
+}
+
+std::vector<std::string> workload_names() {
+  return {"cg", "ft", "bt", "lu", "sp", "mg", "nek"};
+}
+
+}  // namespace unimem::wl

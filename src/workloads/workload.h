@@ -1,0 +1,67 @@
+// Workload interface: phase-structured iterative MPI mini-apps mirroring
+// the paper's benchmarks (NPB CG/FT/BT/LU/SP/MG and Nek5000-eddy).
+//
+// Each workload allocates the *same target data objects* as the paper's
+// Table 3, runs an iterative main loop whose phases are delineated by
+// (mini-)MPI calls, performs real (scaled-down) arithmetic on the object
+// payloads so data integrity across migrations is checkable, and declares
+// its per-phase access patterns to the memory substrate through PhaseWork
+// descriptors.
+//
+// A workload runs against any rt::Context — the Unimem runtime or a static
+// placement baseline — which is how the paper's policy comparisons are
+// produced.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/units.h"
+#include "core/context.h"
+
+namespace unimem::wl {
+
+struct WorkloadConfig {
+  /// NPB-style input class (scaled; see DESIGN.md §5): S/A/C/D.
+  char cls = 'C';
+  int iterations = 10;
+  /// Ranks sharing the global problem (strong scaling divides the data).
+  int nranks = 4;
+
+  /// Global problem footprint for the class across all ranks.  Chosen so
+  /// that at the paper's base configuration (class C, 4 ranks, 8 MiB DRAM
+  /// ~ 256 MB) a rank's target objects are ~2x the DRAM allowance — the
+  /// same "most-but-not-all fits" regime as NPB class C vs 256 MB.
+  std::size_t global_footprint() const {
+    switch (cls) {
+      case 'S': return 8 * kMiB;
+      case 'A': return 24 * kMiB;
+      case 'C': return 48 * kMiB;
+      case 'D': return 96 * kMiB;
+      default: return 48 * kMiB;
+    }
+  }
+  /// Per-rank share of the footprint.
+  std::size_t rank_bytes() const {
+    return global_footprint() / static_cast<std::size_t>(nranks < 1 ? 1 : nranks);
+  }
+};
+
+class Workload {
+ public:
+  virtual ~Workload() = default;
+  virtual std::string name() const = 0;
+  /// SPMD body: runs on every rank inside World::run.  Returns a checksum
+  /// that must be identical for the same config under any placement
+  /// policy (migration-integrity check).
+  virtual double run_rank(rt::Context& ctx, const WorkloadConfig& cfg) = 0;
+};
+
+/// Factory: "cg", "ft", "bt", "lu", "sp", "mg", "nek".
+std::unique_ptr<Workload> make_workload(const std::string& name);
+
+/// The six NPB kernels + Nek, in the paper's presentation order.
+std::vector<std::string> workload_names();
+
+}  // namespace unimem::wl

@@ -1,0 +1,118 @@
+// Unit tests for the common utilities: units, RNG, interval map.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "common/interval_map.h"
+#include "common/rng.h"
+#include "common/units.h"
+
+namespace unimem {
+namespace {
+
+TEST(Units, AlignUp) {
+  EXPECT_EQ(align_up(0, 64), 0u);
+  EXPECT_EQ(align_up(1, 64), 64u);
+  EXPECT_EQ(align_up(64, 64), 64u);
+  EXPECT_EQ(align_up(65, 64), 128u);
+  EXPECT_EQ(align_up(1000, 8), 1000u);
+}
+
+TEST(Units, LinesOf) {
+  EXPECT_EQ(lines_of(0), 0u);
+  EXPECT_EQ(lines_of(1), 1u);
+  EXPECT_EQ(lines_of(64), 1u);
+  EXPECT_EQ(lines_of(65), 2u);
+  EXPECT_EQ(lines_of(kMiB), kMiB / 64);
+}
+
+TEST(Units, Conversions) {
+  EXPECT_DOUBLE_EQ(mbps(1000), 1e9);
+  EXPECT_DOUBLE_EQ(gbps(12.8), 12.8e9);
+  EXPECT_DOUBLE_EQ(ns(80), 80e-9);
+}
+
+TEST(Rng, DeterministicForSeed) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i)
+    if (a.next() == b.next()) ++same;
+  EXPECT_EQ(same, 0);
+}
+
+TEST(Rng, UniformInRange) {
+  Rng r(7);
+  for (int i = 0; i < 1000; ++i) {
+    double v = r.uniform();
+    EXPECT_GE(v, 0.0);
+    EXPECT_LT(v, 1.0);
+  }
+  for (int i = 0; i < 1000; ++i) {
+    double v = r.uniform(-2.0, 3.0);
+    EXPECT_GE(v, -2.0);
+    EXPECT_LT(v, 3.0);
+  }
+}
+
+TEST(Rng, BelowBound) {
+  Rng r(9);
+  for (int i = 0; i < 1000; ++i) EXPECT_LT(r.below(17), 17u);
+}
+
+TEST(IntervalMap, InsertAndFind) {
+  IntervalMap<int> m;
+  EXPECT_TRUE(m.insert(100, 200, 1));
+  EXPECT_TRUE(m.insert(200, 300, 2));
+  EXPECT_EQ(m.find(100).value(), 1);
+  EXPECT_EQ(m.find(199).value(), 1);
+  EXPECT_EQ(m.find(200).value(), 2);
+  EXPECT_EQ(m.find(299).value(), 2);
+  EXPECT_FALSE(m.find(300).has_value());
+  EXPECT_FALSE(m.find(99).has_value());
+}
+
+TEST(IntervalMap, RejectsOverlap) {
+  IntervalMap<int> m;
+  ASSERT_TRUE(m.insert(100, 200, 1));
+  EXPECT_FALSE(m.insert(150, 250, 2));  // overlaps tail
+  EXPECT_FALSE(m.insert(50, 150, 3));   // overlaps head
+  EXPECT_FALSE(m.insert(120, 180, 4));  // nested
+  EXPECT_FALSE(m.insert(100, 200, 5));  // identical
+  EXPECT_TRUE(m.insert(200, 210, 6));   // adjacent is fine
+  EXPECT_TRUE(m.insert(90, 100, 7));
+}
+
+TEST(IntervalMap, RejectsEmptyInterval) {
+  IntervalMap<int> m;
+  EXPECT_FALSE(m.insert(5, 5, 1));
+  EXPECT_FALSE(m.insert(6, 5, 1));
+}
+
+TEST(IntervalMap, Erase) {
+  IntervalMap<int> m;
+  ASSERT_TRUE(m.insert(0, 10, 1));
+  EXPECT_TRUE(m.erase(0));
+  EXPECT_FALSE(m.erase(0));
+  EXPECT_FALSE(m.find(5).has_value());
+  EXPECT_TRUE(m.insert(0, 10, 2));  // reusable after erase
+  EXPECT_EQ(m.find(5).value(), 2);
+}
+
+TEST(IntervalMap, ManyDisjointIntervals) {
+  IntervalMap<std::uint64_t> m;
+  for (std::uint64_t i = 0; i < 500; ++i)
+    ASSERT_TRUE(m.insert(i * 100, i * 100 + 60, i));
+  for (std::uint64_t i = 0; i < 500; ++i) {
+    EXPECT_EQ(m.find(i * 100 + 30).value(), i);
+    EXPECT_FALSE(m.find(i * 100 + 80).has_value());
+  }
+  EXPECT_EQ(m.size(), 500u);
+}
+
+}  // namespace
+}  // namespace unimem

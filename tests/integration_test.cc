@@ -1,0 +1,142 @@
+// Integration tests: every workload runs under every policy with identical
+// numerics (checksums must match — migrations may never corrupt data), and
+// the policy ordering the paper reports must hold:
+//   DRAM-only <= Unimem <= NVM-only   (in execution time).
+#include <gtest/gtest.h>
+
+#include "experiments/runner.h"
+
+namespace unimem::exp {
+namespace {
+
+class WorkloadIntegration : public ::testing::TestWithParam<std::string> {};
+
+RunConfig base_cfg(const std::string& wl) {
+  RunConfig cfg;
+  cfg.workload = wl;
+  cfg.wcfg.cls = 'S';
+  cfg.wcfg.iterations = 6;
+  cfg.wcfg.nranks = 2;
+  cfg.dram_capacity = 2 * kMiB;
+  cfg.nvm_bw_ratio = 0.5;
+  cfg.nvm_lat_mult = 1.0;
+  return cfg;
+}
+
+TEST_P(WorkloadIntegration, ChecksumsIdenticalAcrossPolicies) {
+  RunConfig cfg = base_cfg(GetParam());
+  cfg.policy = Policy::kDramOnly;
+  RunResult dram = run_once(cfg);
+  cfg.policy = Policy::kNvmOnly;
+  RunResult nvm = run_once(cfg);
+  cfg.policy = Policy::kUnimem;
+  RunResult uni = run_once(cfg);
+  cfg.policy = Policy::kXMen;
+  RunResult xmen = run_once(cfg);
+  EXPECT_DOUBLE_EQ(dram.checksum, nvm.checksum);
+  EXPECT_DOUBLE_EQ(dram.checksum, uni.checksum);
+  EXPECT_DOUBLE_EQ(dram.checksum, xmen.checksum);
+}
+
+TEST_P(WorkloadIntegration, PolicyTimeOrdering) {
+  RunConfig cfg = base_cfg(GetParam());
+  cfg.policy = Policy::kDramOnly;
+  RunResult dram = run_once(cfg);
+  cfg.policy = Policy::kNvmOnly;
+  RunResult nvm = run_once(cfg);
+  cfg.policy = Policy::kUnimem;
+  RunResult uni = run_once(cfg);
+  EXPECT_GT(nvm.time_s, dram.time_s);          // the NVM gap exists
+  EXPECT_LE(uni.time_s, nvm.time_s * 1.02);    // Unimem never loses much
+  EXPECT_GE(uni.time_s, dram.time_s * 0.98);   // and cannot beat DRAM-only
+}
+
+TEST_P(WorkloadIntegration, UnimemOverheadBounded) {
+  RunConfig cfg = base_cfg(GetParam());
+  cfg.policy = Policy::kUnimem;
+  RunResult r = run_once(cfg);
+  EXPECT_LT(r.mean_overhead_percent, 5.0);
+  EXPECT_GE(r.mean_overlap_percent, 0.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllWorkloads, WorkloadIntegration,
+                         ::testing::Values("cg", "ft", "bt", "lu", "sp", "mg",
+                                           "nek"));
+
+TEST(Integration, DeterministicAcrossRuns) {
+  RunConfig cfg = base_cfg("cg");
+  cfg.policy = Policy::kUnimem;
+  RunResult a = run_once(cfg);
+  RunResult b = run_once(cfg);
+  EXPECT_DOUBLE_EQ(a.checksum, b.checksum);
+  EXPECT_DOUBLE_EQ(a.time_s, b.time_s);
+}
+
+TEST(Integration, StrongScalingReducesPerRankTime) {
+  RunConfig cfg = base_cfg("cg");
+  cfg.wcfg.cls = 'A';
+  cfg.policy = Policy::kNvmOnly;
+  cfg.wcfg.nranks = 1;
+  RunResult one = run_once(cfg);
+  cfg.wcfg.nranks = 4;
+  RunResult four = run_once(cfg);
+  EXPECT_LT(four.time_s, one.time_s);
+}
+
+TEST(Integration, LatencyConfigHurtsLatencySensitiveWorkloads) {
+  // SP's lhs is latency-sensitive: a 4x latency NVM must slow NVM-only SP
+  // more than the bandwidth-halved NVM does (Fig. 4's lhs panel).
+  RunConfig cfg = base_cfg("sp");
+  cfg.policy = Policy::kNvmOnly;
+  cfg.nvm_bw_ratio = 0.5;
+  cfg.nvm_lat_mult = 1.0;
+  RunResult bw = run_once(cfg);
+  cfg.nvm_bw_ratio = 1.0;
+  cfg.nvm_lat_mult = 4.0;
+  RunResult lat = run_once(cfg);
+  EXPECT_GT(lat.time_s, bw.time_s);
+}
+
+TEST(Integration, MultipleRanksPerNodeShareTheArbiter) {
+  RunConfig cfg = base_cfg("lu");
+  cfg.wcfg.nranks = 4;
+  cfg.ranks_per_node = 4;  // all ranks on one node share 2 MiB of DRAM
+  cfg.policy = Policy::kUnimem;
+  RunResult shared = run_once(cfg);
+  cfg.ranks_per_node = 1;  // each rank gets its own 2 MiB node
+  RunResult owned = run_once(cfg);
+  EXPECT_DOUBLE_EQ(shared.checksum, owned.checksum);
+  // Less DRAM per rank cannot make things faster.
+  EXPECT_GE(shared.time_s, owned.time_s * 0.999);
+}
+
+TEST(Integration, XMenPlacementIsStatic) {
+  RunConfig cfg = base_cfg("bt");
+  cfg.policy = Policy::kXMen;
+  RunResult r = run_once(cfg);
+  // The measured pass runs under a manual placement: no Unimem stats.
+  EXPECT_EQ(r.total_migrations, 0u);
+  EXPECT_GT(r.time_s, 0.0);
+}
+
+TEST(Integration, UnimemCompetitiveWithXMenOnPhaseVaryingNek) {
+  RunConfig cfg = base_cfg("nek");
+  cfg.wcfg.cls = 'A';
+  cfg.wcfg.iterations = 20;
+  cfg.policy = Policy::kXMen;
+  RunResult xmen = run_once(cfg);
+  cfg.policy = Policy::kUnimem;
+  RunResult uni = run_once(cfg);
+  cfg.policy = Policy::kNvmOnly;
+  RunResult nvm = run_once(cfg);
+  // Paper §5 reports Unimem 10% better than X-Men on Nek5000.  Our
+  // reproduction reaches parity (within 5%) — see EXPERIMENTS.md for why
+  // the rotation-enforcement gap keeps the full 10% out of reach — while
+  // both beat NVM-only decisively.  Note X-Men here is conservatively
+  // granted exact (PIN-grade) profiles; Unimem works from sampled ones.
+  EXPECT_LT(uni.time_s, xmen.time_s * 1.05);
+  EXPECT_LT(uni.time_s, nvm.time_s);
+}
+
+}  // namespace
+}  // namespace unimem::exp

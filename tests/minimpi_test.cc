@@ -1,0 +1,247 @@
+// Tests for minimpi: collective values, point-to-point semantics, virtual
+// time synchronization, and the PMPI hook stream — parameterized over rank
+// counts.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <vector>
+
+#include "minimpi/comm.h"
+#include "minimpi/pmpi.h"
+
+namespace unimem::mpi {
+namespace {
+
+class MiniMpi : public ::testing::TestWithParam<int> {};
+
+TEST_P(MiniMpi, AllreduceSum) {
+  World world(GetParam());
+  std::vector<double> results(GetParam());
+  world.run([&](Comm& c) {
+    double v[2] = {static_cast<double>(c.rank() + 1), 1.0};
+    c.allreduce(v, 2);
+    results[c.rank()] = v[0];
+    EXPECT_DOUBLE_EQ(v[1], static_cast<double>(c.size()));
+  });
+  const int p = GetParam();
+  for (double r : results) EXPECT_DOUBLE_EQ(r, p * (p + 1) / 2.0);
+}
+
+TEST_P(MiniMpi, AllreduceMaxMin) {
+  World world(GetParam());
+  world.run([&](Comm& c) {
+    double v[1] = {static_cast<double>(c.rank())};
+    c.allreduce(v, 1, ReduceOp::kMax);
+    EXPECT_DOUBLE_EQ(v[0], static_cast<double>(c.size() - 1));
+    v[0] = static_cast<double>(c.rank());
+    c.allreduce(v, 1, ReduceOp::kMin);
+    EXPECT_DOUBLE_EQ(v[0], 0.0);
+  });
+}
+
+TEST_P(MiniMpi, AllreduceUint64) {
+  World world(GetParam());
+  world.run([&](Comm& c) {
+    std::uint64_t v[1] = {1};
+    c.allreduce(v, 1);
+    EXPECT_EQ(v[0], static_cast<std::uint64_t>(c.size()));
+  });
+}
+
+TEST_P(MiniMpi, BcastFromEveryRoot) {
+  World world(GetParam());
+  world.run([&](Comm& c) {
+    for (int root = 0; root < c.size(); ++root) {
+      int payload = c.rank() == root ? 1000 + root : -1;
+      c.bcast(&payload, sizeof payload, root);
+      EXPECT_EQ(payload, 1000 + root);
+    }
+  });
+}
+
+TEST_P(MiniMpi, ReduceToRoot) {
+  World world(GetParam());
+  world.run([&](Comm& c) {
+    double v[1] = {1.0};
+    c.reduce(v, 1, 0);
+    if (c.rank() == 0) EXPECT_DOUBLE_EQ(v[0], static_cast<double>(c.size()));
+  });
+}
+
+TEST_P(MiniMpi, RingSendrecv) {
+  World world(GetParam());
+  world.run([&](Comm& c) {
+    const int p = c.size();
+    int out = c.rank();
+    int in = -1;
+    c.sendrecv(&out, sizeof out, (c.rank() + 1) % p, &in, sizeof in,
+               (c.rank() + p - 1) % p, 7);
+    EXPECT_EQ(in, (c.rank() + p - 1) % p);
+  });
+}
+
+TEST_P(MiniMpi, AlltoallPermutation) {
+  const int p = GetParam();
+  World world(p);
+  world.run([&](Comm& c) {
+    std::vector<std::int32_t> send(p), recv(p, -1);
+    for (int i = 0; i < p; ++i) send[i] = c.rank() * 100 + i;
+    c.alltoall(send.data(), recv.data(), sizeof(std::int32_t));
+    for (int i = 0; i < p; ++i) EXPECT_EQ(recv[i], i * 100 + c.rank());
+  });
+}
+
+TEST_P(MiniMpi, BarrierSynchronizesVirtualClocks) {
+  World world(GetParam());
+  world.run([&](Comm& c) {
+    // Ranks advance different amounts, then meet at a barrier.
+    c.clock().advance(0.001 * (c.rank() + 1));
+    c.barrier();
+    double after = c.clock().now();
+    // All ranks leave at >= the max entry time.
+    EXPECT_GE(after, 0.001 * c.size());
+  });
+}
+
+TEST_P(MiniMpi, CollectiveClocksAgreeExactly) {
+  const int p = GetParam();
+  World world(p);
+  std::vector<double> exit_times(p);
+  world.run([&](Comm& c) {
+    c.clock().advance(0.002 * (p - c.rank()));
+    double v[1] = {1.0};
+    c.allreduce(v, 1);
+    exit_times[c.rank()] = c.clock().now();
+  });
+  for (int r = 1; r < p; ++r)
+    EXPECT_DOUBLE_EQ(exit_times[r], exit_times[0]);
+}
+
+INSTANTIATE_TEST_SUITE_P(RankCounts, MiniMpi, ::testing::Values(1, 2, 3, 4, 8));
+
+TEST(MiniMpiP2p, MessageOrderingFifo) {
+  World world(2);
+  world.run([&](Comm& c) {
+    if (c.rank() == 0) {
+      for (int i = 0; i < 50; ++i) c.send(&i, sizeof i, 1, 3);
+    } else {
+      for (int i = 0; i < 50; ++i) {
+        int v = -1;
+        c.recv(&v, sizeof v, 0, 3);
+        EXPECT_EQ(v, i);
+      }
+    }
+  });
+}
+
+TEST(MiniMpiP2p, TagsKeepStreamsSeparate) {
+  World world(2);
+  world.run([&](Comm& c) {
+    if (c.rank() == 0) {
+      int a = 1, b = 2;
+      c.send(&a, sizeof a, 1, 10);
+      c.send(&b, sizeof b, 1, 20);
+    } else {
+      int v = 0;
+      c.recv(&v, sizeof v, 0, 20);  // receive the second tag first
+      EXPECT_EQ(v, 2);
+      c.recv(&v, sizeof v, 0, 10);
+      EXPECT_EQ(v, 1);
+    }
+  });
+}
+
+TEST(MiniMpiP2p, RecvClockRespectsWireCost) {
+  NetworkParams net;
+  World world(2, net);
+  world.run([&](Comm& c) {
+    if (c.rank() == 0) {
+      std::vector<char> big(1 << 20);
+      c.send(big.data(), big.size(), 1, 1);
+    } else {
+      std::vector<char> big(1 << 20);
+      c.recv(big.data(), big.size(), 0, 1);
+      // Receiver cannot finish before send time + wire cost.
+      EXPECT_GE(c.clock().now(), net.p2p_cost(big.size()));
+    }
+  });
+}
+
+TEST(MiniMpiP2p, IsendIrecvWait) {
+  World world(2);
+  world.run([&](Comm& c) {
+    if (c.rank() == 0) {
+      int v = 77;
+      Request r = c.isend(&v, sizeof v, 1, 5);
+      c.wait(r);
+    } else {
+      int v = 0;
+      Request r = c.irecv(&v, sizeof v, 0, 5);
+      c.wait(r);
+      EXPECT_EQ(v, 77);
+      EXPECT_TRUE(r.done);
+    }
+  });
+}
+
+TEST(MiniMpiHooks, BlockingAndNonblockingOps) {
+  struct Recorder : PmpiHooks {
+    std::vector<OpKind> pre, post;
+    std::vector<bool> blocking;
+    void on_pre_op(const OpInfo& i) override {
+      pre.push_back(i.kind);
+      blocking.push_back(i.blocking);
+    }
+    void on_post_op(const OpInfo& i) override { post.push_back(i.kind); }
+  };
+  World world(2);
+  std::vector<Recorder> recs(2);
+  world.run([&](Comm& c) {
+    c.set_hooks(&recs[c.rank()]);
+    c.barrier();
+    if (c.rank() == 0) {
+      int v = 1;
+      Request r = c.isend(&v, sizeof v, 1, 9);
+      c.wait(r);
+    } else {
+      int v = 0;
+      Request r = c.irecv(&v, sizeof v, 0, 9);
+      c.wait(r);
+    }
+    c.set_hooks(nullptr);
+  });
+  for (const Recorder& r : recs) {
+    ASSERT_EQ(r.pre.size(), 3u);  // barrier, isend/irecv, wait
+    EXPECT_EQ(r.pre[0], OpKind::kBarrier);
+    EXPECT_TRUE(r.blocking[0]);
+    EXPECT_FALSE(r.blocking[1]);  // non-blocking merges into next phase
+    EXPECT_EQ(r.pre[2], OpKind::kWait);
+    EXPECT_TRUE(r.blocking[2]);
+    EXPECT_EQ(r.pre.size(), r.post.size());
+  }
+}
+
+TEST(MiniMpiWorld, ExceptionPropagates) {
+  World world(2);
+  EXPECT_THROW(world.run([&](Comm& c) {
+                 if (c.rank() == 1) throw std::runtime_error("rank fail");
+                 // Rank 0 does nothing and exits cleanly.
+               }),
+               std::runtime_error);
+}
+
+TEST(MiniMpiWorld, NodeMapping) {
+  World world(4, NetworkParams{}, 2);
+  world.run([&](Comm& c) { EXPECT_EQ(c.node(), c.rank() / 2); });
+}
+
+TEST(NetworkParamsModel, CostsScale) {
+  NetworkParams n;
+  EXPECT_GT(n.p2p_cost(1 << 20), n.p2p_cost(0));
+  EXPECT_DOUBLE_EQ(n.collective_cost(0, 1), 0.0);
+  EXPECT_GT(n.collective_cost(64, 8), n.collective_cost(64, 2));
+}
+
+}  // namespace
+}  // namespace unimem::mpi

@@ -1,0 +1,100 @@
+// Tests for the PEBS-like sampler and the virtual clock / timing params.
+#include <gtest/gtest.h>
+
+#include "perfmon/sampler.h"
+#include "simclock/timing_params.h"
+#include "simclock/virtual_clock.h"
+
+namespace unimem {
+namespace {
+
+TEST(VirtualClock, AdvanceAndWait) {
+  clk::VirtualClock c;
+  EXPECT_DOUBLE_EQ(c.now(), 0.0);
+  c.advance(0.5);
+  EXPECT_DOUBLE_EQ(c.now(), 0.5);
+  EXPECT_DOUBLE_EQ(c.wait_until(0.75), 0.25);
+  EXPECT_DOUBLE_EQ(c.now(), 0.75);
+  // Waiting for the past is a no-op.
+  EXPECT_DOUBLE_EQ(c.wait_until(0.1), 0.0);
+  EXPECT_DOUBLE_EQ(c.now(), 0.75);
+  c.reset();
+  EXPECT_DOUBLE_EQ(c.now(), 0.0);
+}
+
+TEST(TimingParams, SamplePeriodAndCompute) {
+  clk::TimingParams t;
+  t.cpu_freq_hz = 2.4e9;
+  t.sample_interval_cycles = 1000;
+  EXPECT_NEAR(t.sample_period_s(), 1000 / 2.4e9, 1e-15);
+  t.flops_per_sec = 9.6e9;
+  EXPECT_NEAR(t.compute_seconds(9.6e6), 1e-3, 1e-12);
+}
+
+TEST(Sampler, SampleCountMatchesPhaseLength) {
+  clk::TimingParams t;
+  perf::Sampler s(t);
+  std::vector<perf::MemWindow> w{{0x10000, 1 << 20, 10000, 1e-3}};
+  perf::PhaseSamples ps = s.sample_phase(w, 0.0, 1e-3);
+  EXPECT_EQ(ps.total_samples,
+            static_cast<std::uint64_t>(1e-3 / t.sample_period_s()));
+  EXPECT_EQ(ps.total_miss_count, 10000u);
+}
+
+TEST(Sampler, AddressesFallInsideRegions) {
+  clk::TimingParams t;
+  perf::Sampler s(t);
+  std::vector<perf::MemWindow> w{{0x100000, 4096, 5000, 2e-3}};
+  perf::PhaseSamples ps = s.sample_phase(w, 0.0, 2e-3);
+  ASSERT_FALSE(ps.miss_addresses.empty());
+  for (std::uint64_t a : ps.miss_addresses) {
+    EXPECT_GE(a, 0x100000u);
+    EXPECT_LT(a, 0x100000u + 4096u);
+  }
+}
+
+TEST(Sampler, TimeFractionsTrackWindowShares) {
+  clk::TimingParams t;
+  perf::Sampler s(t);
+  // Window A takes 3x the memory time of window B.
+  std::vector<perf::MemWindow> w{{0x1000000, 1 << 20, 30000, 3e-3},
+                                 {0x2000000, 1 << 20, 10000, 1e-3}};
+  perf::PhaseSamples ps = s.sample_phase(w, 1e-3, 5e-3);
+  std::uint64_t a = 0, b = 0;
+  for (std::uint64_t addr : ps.miss_addresses)
+    (addr < 0x2000000 ? a : b) += 1;
+  ASSERT_GT(b, 0u);
+  EXPECT_NEAR(static_cast<double>(a) / static_cast<double>(b), 3.0, 0.35);
+  // The compute segment yields no addresses: sampled addresses should be
+  // about 4/5 of the total samples.
+  EXPECT_NEAR(static_cast<double>(ps.miss_addresses.size()) /
+                  static_cast<double>(ps.total_samples),
+              0.8, 0.08);
+}
+
+TEST(Sampler, ComputeOnlyPhaseYieldsNoAddresses) {
+  clk::TimingParams t;
+  perf::Sampler s(t);
+  perf::PhaseSamples ps = s.sample_phase({}, 1e-3, 1e-3);
+  EXPECT_TRUE(ps.miss_addresses.empty());
+  EXPECT_EQ(ps.total_miss_count, 0u);
+  EXPECT_GT(ps.total_samples, 0u);
+}
+
+TEST(Sampler, ZeroDurationPhase) {
+  clk::TimingParams t;
+  perf::Sampler s(t);
+  perf::PhaseSamples ps = s.sample_phase({}, 0.0, 0.0);
+  EXPECT_EQ(ps.total_samples, 0u);
+}
+
+TEST(Sampler, WindowWithoutMissesProducesNoAddresses) {
+  clk::TimingParams t;
+  perf::Sampler s(t);
+  std::vector<perf::MemWindow> w{{0x1000, 4096, 0, 1e-3}};
+  perf::PhaseSamples ps = s.sample_phase(w, 0.0, 1e-3);
+  EXPECT_TRUE(ps.miss_addresses.empty());
+}
+
+}  // namespace
+}  // namespace unimem

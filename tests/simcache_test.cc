@@ -1,0 +1,203 @@
+// Tests for the cache substrate: exact LRU behaviour, descriptor
+// arithmetic, and the exact-vs-analytic agreement property the benches
+// depend on (they use the analytic model; tests anchor it to ground truth).
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/units.h"
+#include "simcache/access_descriptor.h"
+#include "simcache/analytic_cache.h"
+#include "simcache/exact_cache.h"
+
+namespace unimem::cache {
+namespace {
+
+constexpr int kMlp = 32;
+
+TEST(AccessDescriptor, LineTouchArithmetic) {
+  AccessDescriptor d;
+  d.region_bytes = kMiB;
+  d.accesses = 1024;
+  d.access_bytes = 8;
+  d.pattern = Pattern::kSequential;
+  EXPECT_EQ(d.line_touches(), 128u);  // 8 doubles per line
+  d.pattern = Pattern::kRandom;
+  EXPECT_EQ(d.line_touches(), 1024u);  // every access a fresh line
+  d.pattern = Pattern::kStrided;
+  d.stride_bytes = 128;
+  EXPECT_EQ(d.line_touches(), 1024u);  // stride >= line
+  d.stride_bytes = 32;
+  EXPECT_EQ(d.line_touches(), 512u);  // two accesses share a line
+}
+
+TEST(AccessDescriptor, FootprintLines) {
+  AccessDescriptor d;
+  d.region_bytes = kMiB;
+  d.pattern = Pattern::kSequential;
+  EXPECT_EQ(d.footprint_lines(), kMiB / 64);
+  d.pattern = Pattern::kStrided;
+  d.stride_bytes = 256;
+  EXPECT_EQ(d.footprint_lines(), kMiB / 256);  // only every 4th line
+}
+
+TEST(AccessDescriptor, EffectiveMlp) {
+  AccessDescriptor d;
+  d.pattern = Pattern::kSequential;
+  EXPECT_EQ(effective_mlp(d, kMlp), kMlp);
+  d.pattern = Pattern::kPointerChase;
+  EXPECT_EQ(effective_mlp(d, kMlp), 1);  // dependent chain, always 1
+  d.mlp = 16;
+  EXPECT_EQ(effective_mlp(d, kMlp), 1);  // override cannot break dependence
+  d.pattern = Pattern::kRandom;
+  EXPECT_EQ(effective_mlp(d, kMlp), 16);  // override honoured
+  d.mlp = 0;
+  EXPECT_EQ(effective_mlp(d, kMlp), kMlp / 4);
+}
+
+TEST(ExactCache, ColdMissThenHit) {
+  ExactCache c(CacheConfig{64 * kKiB, 16, 64});
+  EXPECT_TRUE(c.touch(0));
+  EXPECT_FALSE(c.touch(0));
+  EXPECT_FALSE(c.touch(32));  // same line
+  EXPECT_TRUE(c.touch(64));   // next line
+}
+
+TEST(ExactCache, LruEvictionOrder) {
+  // Direct-mapped-like tiny config: 4 sets x 2 ways, line 64.
+  ExactCache c(CacheConfig{512, 2, 64});
+  // Three lines mapping to the same set (set stride = 4 lines = 256 B).
+  EXPECT_TRUE(c.touch(0));
+  EXPECT_TRUE(c.touch(256));
+  EXPECT_FALSE(c.touch(0));    // still resident
+  EXPECT_TRUE(c.touch(512));   // evicts 256 (LRU), not 0
+  EXPECT_FALSE(c.touch(0));
+  EXPECT_TRUE(c.touch(256));   // was evicted
+}
+
+TEST(ExactCache, SmallRegionIsCapturedAfterWarmup) {
+  ExactCache c;  // 1 MiB
+  std::vector<std::byte> buf(256 * kKiB);
+  AccessDescriptor d;
+  d.base = buf.data();
+  d.region_bytes = buf.size();
+  d.pattern = Pattern::kSequential;
+  d.accesses = 8 * (buf.size() / 8);  // 8 passes
+  AccessResult r = c.process(d, kMlp);
+  // Only the first pass misses.
+  EXPECT_NEAR(static_cast<double>(r.misses),
+              static_cast<double>(buf.size() / 64),
+              static_cast<double>(buf.size() / 64) * 0.05);
+}
+
+TEST(ExactCache, StreamLargerThanCacheMissesEveryLine) {
+  ExactCache c;  // 1 MiB
+  std::vector<std::byte> buf(8 * kMiB);
+  AccessDescriptor d;
+  d.base = buf.data();
+  d.region_bytes = buf.size();
+  d.pattern = Pattern::kSequential;
+  d.accesses = 2 * (buf.size() / 8);  // 2 passes, both should miss fully
+  AccessResult r = c.process(d, kMlp);
+  EXPECT_EQ(r.line_touches, 2 * buf.size() / 64);
+  EXPECT_NEAR(static_cast<double>(r.misses),
+              static_cast<double>(r.line_touches),
+              static_cast<double>(r.line_touches) * 0.01);
+}
+
+TEST(ExactCache, ResetClearsState) {
+  ExactCache c;
+  EXPECT_TRUE(c.touch(0));
+  EXPECT_FALSE(c.touch(0));
+  c.reset();
+  EXPECT_TRUE(c.touch(0));
+}
+
+TEST(AnalyticCache, SerializedMissesFollowMlp) {
+  AnalyticCache c;
+  std::vector<std::byte> buf(8 * kMiB);
+  AccessDescriptor d;
+  d.base = buf.data();
+  d.region_bytes = buf.size();
+  d.accesses = buf.size() / 8;
+  d.pattern = Pattern::kSequential;
+  AccessResult seq = c.process(d, kMlp);
+  d.pattern = Pattern::kPointerChase;
+  AccessResult chase = c.process(d, kMlp);
+  EXPECT_NEAR(seq.serialized_misses * kMlp, static_cast<double>(seq.misses),
+              1.0);
+  EXPECT_DOUBLE_EQ(chase.serialized_misses,
+                   static_cast<double>(chase.misses));
+}
+
+TEST(AnalyticCache, ChunkSlicesShareTheCache) {
+  // Fourteen 1 MiB slices of one 14 MiB logical sweep must NOT each be
+  // treated as cache-resident (the regression behind the FT bug).
+  AnalyticCache c;
+  std::vector<std::byte> buf(kMiB);
+  AccessDescriptor d;
+  d.base = buf.data();
+  d.region_bytes = kMiB;
+  d.logical_bytes = 14 * kMiB;
+  d.pattern = Pattern::kSequential;
+  d.accesses = 4 * (kMiB / 8);  // several passes over the slice
+  AccessResult r = c.process(d, kMlp);
+  EXPECT_NEAR(static_cast<double>(r.misses),
+              static_cast<double>(r.line_touches),
+              static_cast<double>(r.line_touches) * 0.01);
+}
+
+// ---------------------------------------------------------------------------
+// Property: the analytic model agrees with the exact simulator across the
+// pattern space (within tolerance) for both cache-resident and oversized
+// regions.
+
+struct AgreeCase {
+  Pattern pattern;
+  std::size_t region;
+  std::uint64_t accesses;
+  double tolerance;  ///< relative miss-count tolerance
+};
+
+class CacheAgreement : public ::testing::TestWithParam<AgreeCase> {};
+
+TEST_P(CacheAgreement, AnalyticTracksExact) {
+  const AgreeCase& tc = GetParam();
+  ExactCache exact;
+  AnalyticCache analytic;
+  std::vector<std::byte> buf(tc.region);
+  AccessDescriptor d;
+  d.base = buf.data();
+  d.region_bytes = tc.region;
+  d.pattern = tc.pattern;
+  d.accesses = tc.accesses;
+  d.stride_bytes = 256;
+  AccessResult re = exact.process(d, kMlp);
+  AccessResult ra = analytic.process(d, kMlp);
+  ASSERT_GT(re.misses, 0u);
+  double rel = std::abs(static_cast<double>(ra.misses) -
+                        static_cast<double>(re.misses)) /
+               static_cast<double>(re.misses);
+  EXPECT_LE(rel, tc.tolerance) << "exact=" << re.misses
+                               << " analytic=" << ra.misses;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Patterns, CacheAgreement,
+    ::testing::Values(
+        // Oversized streams: both should miss ~every line.
+        AgreeCase{Pattern::kSequential, 8 * kMiB, 4 * kMiB / 8, 0.05},
+        AgreeCase{Pattern::kSequential, 4 * kMiB, 2 * kMiB / 8, 0.05},
+        AgreeCase{Pattern::kStrided, 8 * kMiB, 32768, 0.05},
+        // Random over oversized region: steady-state miss probability.
+        AgreeCase{Pattern::kRandom, 8 * kMiB, 200000, 0.15},
+        AgreeCase{Pattern::kRandom, 16 * kMiB, 200000, 0.15},
+        AgreeCase{Pattern::kGather, 8 * kMiB, 200000, 0.15},
+        // Pointer chase over oversized region.
+        AgreeCase{Pattern::kPointerChase, 8 * kMiB, 100000, 0.15},
+        // Small region, many passes: cold misses only.
+        AgreeCase{Pattern::kSequential, 256 * kKiB, 8 * 256 * kKiB / 8, 0.10},
+        AgreeCase{Pattern::kRandom, 256 * kKiB, 100000, 0.25}));
+
+}  // namespace
+}  // namespace unimem::cache
