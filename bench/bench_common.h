@@ -1,7 +1,9 @@
 // Shared helpers for the figure/table harnesses.
 #pragma once
 
+#include <algorithm>
 #include <cstdio>
+#include <cstdlib>
 #include <string>
 #include <vector>
 
@@ -21,6 +23,19 @@ inline exp::RunConfig base_config(const std::string& workload) {
   cfg.wcfg.nranks = 4;
   cfg.ranks_per_node = 1;
   cfg.dram_capacity = 8 * kMiB;
+  return cfg;
+}
+
+/// bench-smoke clamp: with UNIMEM_BENCH_SMOKE set in the environment (the
+/// ctest `bench-smoke` label sets it), shrink a config to a tiny problem so
+/// every figure harness exercises its full sweep in well under a second.
+/// The numbers printed are then meaningless; only "it still runs" is tested.
+/// Call it after all per-figure overrides of workload-size fields.
+inline exp::RunConfig smoke(exp::RunConfig cfg) {
+  if (std::getenv("UNIMEM_BENCH_SMOKE") == nullptr) return cfg;
+  cfg.wcfg.cls = 'S';
+  cfg.wcfg.iterations = std::min(cfg.wcfg.iterations, 3);
+  cfg.wcfg.nranks = std::min(cfg.wcfg.nranks, 2);
   return cfg;
 }
 

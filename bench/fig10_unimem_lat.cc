@@ -12,6 +12,7 @@ int main() {
   all.push_back("nek");
   for (const std::string& w : all) {
     exp::RunConfig cfg = bench::base_config(w);
+    cfg = bench::smoke(cfg);
     cfg.nvm_bw_ratio = 1.0;
     cfg.nvm_lat_mult = 4.0;
     cfg.policy = exp::Policy::kDramOnly;

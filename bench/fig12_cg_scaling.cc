@@ -14,6 +14,7 @@ int main() {
     exp::RunConfig cfg = bench::base_config("cg");
     cfg.wcfg.cls = 'D';
     cfg.wcfg.nranks = ranks;
+    cfg = bench::smoke(cfg);
     cfg.nvm_bw_ratio = 0.60;   // the paper's NUMA emulation
     cfg.nvm_lat_mult = 1.89;
     cfg.policy = exp::Policy::kDramOnly;

@@ -15,6 +15,7 @@ int main() {
   all.push_back("nek");
   for (const std::string& w : all) {
     exp::RunConfig cfg = bench::base_config(w);
+    cfg = bench::smoke(cfg);
     cfg.nvm_bw_ratio = 0.5;
     cfg.policy = exp::Policy::kDramOnly;
     double dram = exp::run_once(cfg).time_s;

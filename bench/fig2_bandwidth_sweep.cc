@@ -9,6 +9,7 @@ int main() {
   rep.set_header({"benchmark", "1/2 BW", "1/4 BW", "1/8 BW"});
   for (const std::string& w : bench::npb()) {
     exp::RunConfig cfg = bench::base_config(w);
+    cfg = bench::smoke(cfg);
     cfg.policy = exp::Policy::kDramOnly;
     double dram = exp::run_once(cfg).time_s;
     std::vector<std::string> row{w};

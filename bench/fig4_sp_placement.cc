@@ -28,6 +28,7 @@ int main() {
       rep.set_header({"placement in DRAM", "normalized time"});
       exp::RunConfig cfg = bench::base_config("sp");
       cfg.wcfg.cls = cls;
+      cfg = bench::smoke(cfg);
       cfg.nvm_bw_ratio = n.bw;
       cfg.nvm_lat_mult = n.lat;
       cfg.policy = exp::Policy::kDramOnly;

@@ -1,0 +1,26 @@
+#!/usr/bin/env bash
+# CI pipeline: configure -> build -> tier-1 tests -> bench smoke ->
+# AddressSanitizer configure+build.  Suitable as a single GitHub Actions
+# step:  run: ./scripts/ci.sh
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+JOBS="${JOBS:-$(nproc)}"
+
+echo "== configure =="
+cmake -B build -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo
+
+echo "== build =="
+cmake --build build -j "$JOBS"
+
+echo "== tier-1 tests =="
+ctest --test-dir build -L tier1 --output-on-failure -j "$JOBS"
+
+echo "== bench smoke =="
+ctest --test-dir build -L bench-smoke --output-on-failure -j "$JOBS"
+
+echo "== asan configure + build =="
+cmake -B build-asan -S . -DUNIMEM_SANITIZE=address -DCMAKE_BUILD_TYPE=Debug
+cmake --build build-asan -j "$JOBS"
+
+echo "CI OK"

@@ -65,7 +65,9 @@ TEST_P(MiniMpi, ReduceToRoot) {
   world.run([&](Comm& c) {
     double v[1] = {1.0};
     c.reduce(v, 1, 0);
-    if (c.rank() == 0) EXPECT_DOUBLE_EQ(v[0], static_cast<double>(c.size()));
+    if (c.rank() == 0) {
+      EXPECT_DOUBLE_EQ(v[0], static_cast<double>(c.size()));
+    }
   });
 }
 
