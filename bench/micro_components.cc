@@ -2,11 +2,17 @@
 // solver (DP vs greedy — the ablation of DESIGN.md §6.4), cache models
 // (exact vs analytic — §6.5), the arena allocator, minimpi collectives,
 // and the migration engine's copy path.
+//
+// The *Production benchmarks below are the before/after anchors recorded in
+// BENCH_components.json (see scripts/bench_components.sh and the README
+// "Perf methodology" section): they size the exact-cache and knapsack hot
+// paths the way the planning loop sees them at production problem scales.
 #include <benchmark/benchmark.h>
 
 #include <vector>
 
 #include "common/rng.h"
+#include "common/units.h"
 #include "core/knapsack.h"
 #include "core/migration.h"
 #include "core/registry.h"
@@ -25,6 +31,18 @@ std::vector<rt::KnapsackItem> make_items(std::size_t n, std::uint64_t seed) {
   for (std::size_t i = 0; i < n; ++i)
     items.push_back(
         rt::KnapsackItem{rng.uniform(0.0, 1.0), 64 * (1 + rng.below(4096))});
+  return items;
+}
+
+/// Production-shaped instances: chunk-sized objects (64 KiB .. 8 MiB), the
+/// regime the planner's per-phase knapsack sees on class C/D inputs.
+std::vector<rt::KnapsackItem> make_production_items(std::size_t n,
+                                                    std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<rt::KnapsackItem> items;
+  for (std::size_t i = 0; i < n; ++i)
+    items.push_back(rt::KnapsackItem{rng.uniform(0.0, 1.0),
+                                     64 * kKiB * (1 + rng.below(127))});
   return items;
 }
 
@@ -47,6 +65,134 @@ void BM_KnapsackGreedy(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_KnapsackGreedy)->Arg(8)->Arg(32)->Arg(128);
+
+// ---------------------------------------------------------------------------
+// Production-size sweeps (BENCH_components.json anchors).
+
+void BM_KnapsackDPProduction(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const std::size_t cap = static_cast<std::size_t>(state.range(1)) * kMiB;
+  auto items = make_production_items(n, 42);
+  rt::KnapsackSolver solver(64 * kKiB);
+  for (auto _ : state) {
+    auto r = solver.solve(items, cap);
+    benchmark::DoNotOptimize(r.total_weight);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(n));
+}
+// n items vs DRAM-allowance capacity (MiB); item sizes are chunk-scale, so
+// every instance is heavily over-subscribed and the DP must actually choose.
+BENCHMARK(BM_KnapsackDPProduction)
+    ->Args({512, 32})
+    ->Args({2048, 128})
+    ->Args({2048, 512})
+    ->Unit(benchmark::kMillisecond);
+
+void BM_KnapsackHugeProduction(benchmark::State& state) {
+  // Item-count x capacity product far past any sensible dense-DP size; the
+  // solver is expected to stay sane here rather than allocate gigabytes.
+  auto items = make_production_items(8192, 42);
+  rt::KnapsackSolver solver(64 * kKiB);
+  for (auto _ : state) {
+    auto r = solver.solve(items, std::size_t{4096} * kMiB);
+    benchmark::DoNotOptimize(r.total_weight);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * 8192);
+}
+BENCHMARK(BM_KnapsackHugeProduction)->Unit(benchmark::kMillisecond);
+
+/// One descriptor sized like a class-D rank's dominant object.
+void BM_ExactCacheSeqPassProduction(benchmark::State& state) {
+  cache::ExactCache c;
+  std::vector<std::byte> buf(static_cast<std::size_t>(state.range(0)));
+  cache::AccessDescriptor d;
+  d.base = buf.data();
+  d.region_bytes = buf.size();
+  d.pattern = cache::Pattern::kSequential;
+  d.accesses = buf.size() / 8;  // one full pass
+  for (auto _ : state) {
+    auto r = c.process(d, 32);
+    benchmark::DoNotOptimize(r.misses);
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(buf.size()));
+}
+BENCHMARK(BM_ExactCacheSeqPassProduction)->Arg(64 << 20)->Unit(benchmark::kMillisecond);
+
+/// Iterative-solver shape: the same region swept eight times per phase.
+void BM_ExactCacheSeqMultiPassProduction(benchmark::State& state) {
+  cache::ExactCache c;
+  std::vector<std::byte> buf(static_cast<std::size_t>(state.range(0)));
+  cache::AccessDescriptor d;
+  d.base = buf.data();
+  d.region_bytes = buf.size();
+  d.pattern = cache::Pattern::kSequential;
+  d.accesses = 8 * (buf.size() / 8);  // eight passes
+  for (auto _ : state) {
+    auto r = c.process(d, 32);
+    benchmark::DoNotOptimize(r.misses);
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) * 8 *
+                          static_cast<std::int64_t>(buf.size()));
+}
+BENCHMARK(BM_ExactCacheSeqMultiPassProduction)->Arg(16 << 20)->Unit(benchmark::kMillisecond);
+
+void BM_ExactCacheStridedProduction(benchmark::State& state) {
+  cache::ExactCache c;
+  std::vector<std::byte> buf(64 << 20);
+  cache::AccessDescriptor d;
+  d.base = buf.data();
+  d.region_bytes = buf.size();
+  d.pattern = cache::Pattern::kStrided;
+  d.stride_bytes = static_cast<std::size_t>(state.range(0));
+  const std::uint64_t slots =
+      buf.size() / static_cast<std::size_t>(state.range(0));
+  d.accesses = 2 * slots;  // two passes over the strided slots
+  for (auto _ : state) {
+    auto r = c.process(d, 32);
+    benchmark::DoNotOptimize(r.misses);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(d.accesses));
+}
+BENCHMARK(BM_ExactCacheStridedProduction)->Arg(256)->Arg(96)->Unit(benchmark::kMillisecond);
+
+void BM_ExactCacheRandomProduction(benchmark::State& state) {
+  cache::ExactCache c;
+  std::vector<std::byte> buf(64 << 20);
+  cache::AccessDescriptor d;
+  d.base = buf.data();
+  d.region_bytes = buf.size();
+  d.pattern = cache::Pattern::kRandom;
+  d.accesses = 2 << 20;
+  for (auto _ : state) {
+    auto r = c.process(d, 32);
+    benchmark::DoNotOptimize(r.misses);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(d.accesses));
+}
+BENCHMARK(BM_ExactCacheRandomProduction)->Unit(benchmark::kMillisecond);
+
+void BM_ExactCachePointerChaseProduction(benchmark::State& state) {
+  cache::ExactCache c;
+  std::vector<std::byte> buf(32 << 20);
+  cache::AccessDescriptor d;
+  d.base = buf.data();
+  d.region_bytes = buf.size();
+  d.pattern = cache::Pattern::kPointerChase;
+  d.accesses = 1 << 20;
+  for (auto _ : state) {
+    auto r = c.process(d, 32);
+    benchmark::DoNotOptimize(r.misses);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(d.accesses));
+}
+BENCHMARK(BM_ExactCachePointerChaseProduction)->Unit(benchmark::kMillisecond);
+
+// ---------------------------------------------------------------------------
 
 void BM_ExactCacheStream(benchmark::State& state) {
   cache::ExactCache c;

@@ -1,0 +1,46 @@
+#!/usr/bin/env bash
+# Runs the production-size component sweeps (exact cache + knapsack) from
+# bench/micro_components and merges the results into BENCH_components.json
+# under the given label ("pre_pr", "post_pr", ...).  The committed file
+# holds one entry per label so hot-path PRs can show before/after numbers
+# side by side (README "Perf methodology").
+#
+# Usage: scripts/bench_components.sh <label> [build-dir]
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+LABEL="${1:?usage: bench_components.sh <label> [build-dir]}"
+BUILD="${2:-build}"
+OUT=BENCH_components.json
+
+if [ ! -x "$BUILD/micro_components" ]; then
+  echo "error: $BUILD/micro_components not built (needs google-benchmark)" >&2
+  exit 1
+fi
+
+TMP="$(mktemp)"
+trap 'rm -f "$TMP"' EXIT
+"$BUILD/micro_components" \
+  --benchmark_filter='Production' \
+  --benchmark_out_format=json --benchmark_out="$TMP" >&2
+
+[ -f "$OUT" ] || echo '{}' > "$OUT"
+jq --arg lbl "$LABEL" --slurpfile bench "$TMP" '
+  .[$lbl] = ($bench[0].benchmarks | map({
+    name,
+    real_time: .real_time,
+    time_unit: .time_unit,
+    items_per_second: (.items_per_second // null),
+    bytes_per_second: (.bytes_per_second // null)
+  }))
+  # Whenever both anchors are present, recompute per-benchmark speedups.
+  | if (has("pre_pr") and has("post_pr")) then
+      .speedup_post_over_pre = (
+        (.pre_pr | map({key: .name, value: .real_time}) | from_entries) as $pre
+        | .post_pr | map(select($pre[.name] != null)
+            | {key: .name,
+               value: (($pre[.name] / .real_time) * 100 | round / 100)})
+        | from_entries)
+    else . end
+' "$OUT" > "$OUT.tmp" && mv "$OUT.tmp" "$OUT"
+echo "recorded '$LABEL' in $OUT"

@@ -1,7 +1,8 @@
 #!/usr/bin/env bash
 # CI pipeline: configure -> build -> tier-1 tests -> bench smoke ->
-# AddressSanitizer configure+build.  Suitable as a single GitHub Actions
-# step:  run: ./scripts/ci.sh
+# ASan/UBSan tier-1 run -> TSan tier-1 run (minimpi + the migration
+# helper thread are the concurrency hot spots the TSan pass guards).
+# Suitable as a single GitHub Actions step:  run: ./scripts/ci.sh
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -16,11 +17,25 @@ cmake --build build -j "$JOBS"
 echo "== tier-1 tests =="
 ctest --test-dir build -L tier1 --output-on-failure -j "$JOBS"
 
+echo "== e2e aggregates =="
+# Whole-binary runs: cross-case assertions (e.g. the matrix test's
+# cross-strategy checksum comparison) only fire when all cases share one
+# process, which the per-case tier-1 entries cannot provide.
+ctest --test-dir build -L e2e --output-on-failure -j "$JOBS"
+
 echo "== bench smoke =="
 ctest --test-dir build -L bench-smoke --output-on-failure -j "$JOBS"
 
-echo "== asan configure + build =="
-cmake -B build-asan -S . -DUNIMEM_SANITIZE=address -DCMAKE_BUILD_TYPE=Debug
+echo "== asan+ubsan configure + build + tier-1 =="
+cmake -B build-asan -S . -DUNIMEM_SANITIZE=address,undefined \
+      -DCMAKE_BUILD_TYPE=Debug
 cmake --build build-asan -j "$JOBS"
+ctest --test-dir build-asan -L tier1 --output-on-failure -j "$JOBS"
+
+echo "== tsan configure + build + tier-1 =="
+cmake -B build-tsan -S . -DUNIMEM_SANITIZE=thread -DCMAKE_BUILD_TYPE=Debug
+cmake --build build-tsan -j "$JOBS"
+TSAN_OPTIONS="${TSAN_OPTIONS:-halt_on_error=1}" \
+  ctest --test-dir build-tsan -L tier1 --output-on-failure -j "$JOBS"
 
 echo "CI OK"

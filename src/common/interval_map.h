@@ -40,6 +40,18 @@ class IntervalMap {
     return std::nullopt;
   }
 
+  /// Invoke `fn(value)` for every interval intersecting [lo, hi).
+  template <typename F>
+  void for_each_overlapping(std::uint64_t lo, std::uint64_t hi, F&& fn) const {
+    if (lo >= hi) return;
+    auto it = map_.upper_bound(lo);
+    if (it != map_.begin()) {
+      auto prev = std::prev(it);
+      if (prev->second.hi > lo) fn(prev->second.value);
+    }
+    for (; it != map_.end() && it->first < hi; ++it) fn(it->second.value);
+  }
+
   std::size_t size() const { return map_.size(); }
   bool empty() const { return map_.empty(); }
   void clear() { map_.clear(); }

@@ -6,54 +6,149 @@
 namespace unimem::rt {
 
 namespace {
+
 /// Quantized size in granules, rounded up (an item must fully fit).
 std::size_t granules(std::size_t bytes, std::size_t granule) {
   return (bytes + granule - 1) / granule;
 }
+
+/// Dense-DP size guard: past this many table cells the pseudo-polynomial
+/// DP stops being "lightweight enough to run online" (paper §3.1.3) and
+/// the solver switches to the bounded-approximation path.
+constexpr std::size_t kDenseDpCellBudget = std::size_t{1} << 25;
+
 }  // namespace
 
 KnapsackResult KnapsackSolver::solve(const std::vector<KnapsackItem>& items,
                                      std::size_t capacity_bytes) const {
   KnapsackResult out;
-  const std::size_t cap = capacity_bytes / granule_;
+  std::size_t cap = capacity_bytes / granule_;
   if (cap == 0 || items.empty()) return out;
 
-  // Candidates: positive weight, fits at all.
+  // Candidates: positive weight, fits at all.  Track quantized sizes once.
   std::vector<std::size_t> cand;
-  for (std::size_t i = 0; i < items.size(); ++i)
-    if (items[i].weight > 0 && granules(items[i].bytes, granule_) <= cap)
-      cand.push_back(i);
+  std::vector<std::size_t> gsz;
+  std::size_t total_g = 0;
+  for (std::size_t i = 0; i < items.size(); ++i) {
+    if (items[i].weight <= 0) continue;
+    const std::size_t g = granules(items[i].bytes, granule_);
+    if (g > cap) continue;
+    cand.push_back(i);
+    gsz.push_back(g);
+    total_g += g;
+  }
   if (cand.empty()) return out;
 
-  // DP over capacity; keep per-cell best value and a take-bit per item to
-  // reconstruct the selection.
-  const std::size_t n = cand.size();
-  std::vector<double> best(cap + 1, 0.0);
-  // take[i][c]: whether candidate i is taken at capacity c.
-  std::vector<std::vector<bool>> take(n, std::vector<bool>(cap + 1, false));
+  auto take = [&](std::size_t ci) {
+    out.selected.push_back(cand[ci]);
+    out.total_weight += items[cand[ci]].weight;
+    out.total_bytes += items[cand[ci]].bytes;
+  };
 
+  // Pre-clamp: nothing above the candidates' total quantized size is
+  // reachable, and when everything fits there is nothing to optimize.
+  if (total_g <= cap) {
+    for (std::size_t ci = 0; ci < cand.size(); ++ci) take(ci);
+    std::sort(out.selected.begin(), out.selected.end());
+    return out;
+  }
+
+  const std::size_t n = cand.size();
+  if (n * (cap + 1) > kDenseDpCellBudget)
+    return solve_bounded(items, cand, gsz, cap);
+
+  // Rolling 1-D DP over capacity; decisions go into a flat bit matrix
+  // (row per item) so the selection can be reconstructed without the 2-D
+  // value table.
+  const std::size_t stride = (cap + 1 + 63) / 64;
+  std::vector<double> best(cap + 1, 0.0);
+  std::vector<std::uint64_t> taken(n * stride, 0);
+  // Per-row capacity clamp: items 0..i cannot fill more than their summed
+  // granules hi[i], so cells above hi[i] are never materialized.  The
+  // invariant is that after row i, best[0..hi[i]] holds the exact optima;
+  // a read that would land above a row's clamp is answered by best[hi[i]]
+  // (the optimum is constant up there).
+  std::vector<std::size_t> hi(n);
+  std::size_t prev = 0;  // hi of the previous row
   for (std::size_t i = 0; i < n; ++i) {
-    const auto& it = items[cand[i]];
-    const std::size_t g = granules(it.bytes, granule_);
-    for (std::size_t c = cap; c >= g; --c) {
-      double with = best[c - g] + it.weight;
+    const std::size_t g = gsz[i];
+    const double w = items[cand[i]].weight;
+    hi[i] = std::min(cap, prev + g);
+    std::uint64_t* row = &taken[i * stride];
+    // Cells in (prev, hi[i]] were unreachable before this row: the
+    // not-take value is best[prev], and they must be materialized so later
+    // rows read correct carries.
+    const double keep = best[prev];
+    // Newly reachable cells the item itself cannot occupy (c < g) still
+    // carry the previous row's plateau value.
+    for (std::size_t c = std::min(hi[i], g - 1); c > prev; --c) best[c] = keep;
+    const std::size_t lo_upper = std::max(prev + 1, g);
+    for (std::size_t c = hi[i]; c >= lo_upper; --c) {
+      const double with = best[c - g] + w;
+      if (with > keep) {
+        best[c] = with;
+        row[c >> 6] |= std::uint64_t{1} << (c & 63);
+      } else {
+        best[c] = keep;
+      }
+      if (c == lo_upper) break;  // avoid size_t underflow
+    }
+    // Classic in-place sweep for the cells both rows can reach.
+    for (std::size_t c = std::min(prev, hi[i]); c >= g; --c) {
+      const double with = best[c - g] + w;
       if (with > best[c]) {
         best[c] = with;
-        take[i][c] = true;
+        row[c >> 6] |= std::uint64_t{1} << (c & 63);
       }
       if (c == g) break;  // avoid size_t underflow
     }
+    prev = hi[i];
   }
 
   // Reconstruct.
   std::size_t c = cap;
   for (std::size_t i = n; i-- > 0;) {
-    if (take[i][c]) {
-      out.selected.push_back(cand[i]);
-      out.total_weight += items[cand[i]].weight;
-      out.total_bytes += items[cand[i]].bytes;
-      c -= granules(items[cand[i]].bytes, granule_);
+    c = std::min(c, hi[i]);
+    if ((taken[i * stride + (c >> 6)] >> (c & 63)) & 1) {
+      take(i);
+      c -= gsz[i];
     }
+  }
+  std::sort(out.selected.begin(), out.selected.end());
+  return out;
+}
+
+KnapsackResult KnapsackSolver::solve_bounded(
+    const std::vector<KnapsackItem>& items,
+    const std::vector<std::size_t>& cand, const std::vector<std::size_t>& gsz,
+    std::size_t cap) const {
+  // Density greedy on the quantized sizes (so the capacity accounting is
+  // identical to the DP's), refined with the best single candidate: the
+  // better of the two is a 1/2-approximation of the DP optimum.
+  std::vector<std::size_t> order(cand.size());
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    return items[cand[a]].weight * static_cast<double>(gsz[b]) >
+           items[cand[b]].weight * static_cast<double>(gsz[a]);
+  });
+
+  KnapsackResult out;
+  std::size_t used = 0;
+  std::size_t best_single = order[0];
+  for (std::size_t ci : order) {
+    if (items[cand[ci]].weight > items[cand[best_single]].weight)
+      best_single = ci;
+    if (used + gsz[ci] > cap) continue;
+    used += gsz[ci];
+    out.selected.push_back(cand[ci]);
+    out.total_weight += items[cand[ci]].weight;
+    out.total_bytes += items[cand[ci]].bytes;
+  }
+  if (items[cand[best_single]].weight > out.total_weight) {
+    out = KnapsackResult{};
+    out.selected.push_back(cand[best_single]);
+    out.total_weight = items[cand[best_single]].weight;
+    out.total_bytes = items[cand[best_single]].bytes;
   }
   std::sort(out.selected.begin(), out.selected.end());
   return out;

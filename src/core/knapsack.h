@@ -33,16 +33,30 @@ class KnapsackSolver {
   explicit KnapsackSolver(std::size_t granule = 64 * 1024)
       : granule_(granule) {}
 
-  /// Exact DP solution (pseudo-polynomial in capacity/granule).
+  /// Exact DP solution (rolling 1-D array, pseudo-polynomial in
+  /// capacity/granule).  The capacity is pre-clamped to the candidates'
+  /// total quantized size, and when everything fits no DP runs at all.
+  /// Instances whose item-count x capacity product would make the dense
+  /// DP table unreasonable fall back to a 1/2-approximation (quantized
+  /// density greedy refined with the best single item) so planning stays
+  /// online at any scale.
   KnapsackResult solve(const std::vector<KnapsackItem>& items,
                        std::size_t capacity_bytes) const;
 
   /// Greedy by weight density (weight/bytes); not optimal, used for
-  /// comparison and as a fast path for very large instances.
+  /// comparison and as the ablation baseline (DESIGN.md §6.4).
   KnapsackResult solve_greedy(const std::vector<KnapsackItem>& items,
                               std::size_t capacity_bytes) const;
 
  private:
+  /// Bounded-approximation path for instances past the dense-DP budget.
+  /// `cand`/`gsz` are the candidate indices and their quantized sizes;
+  /// `cap` is the pre-clamped capacity in granules.
+  KnapsackResult solve_bounded(const std::vector<KnapsackItem>& items,
+                               const std::vector<std::size_t>& cand,
+                               const std::vector<std::size_t>& gsz,
+                               std::size_t cap) const;
+
   std::size_t granule_;
 };
 

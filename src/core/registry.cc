@@ -165,6 +165,23 @@ std::size_t Registry::unit_bytes(UnitRef u) const {
   return objects_.at(u.object)->chunk(u.chunk).bytes;
 }
 
+std::size_t Registry::try_unit_bytes(UnitRef u) const {
+  std::lock_guard<std::mutex> lk(mu_);
+  if (u.object >= objects_.size() || !objects_[u.object]) return 0;
+  const DataObject& obj = *objects_[u.object];
+  if (u.chunk >= obj.chunk_count()) return 0;
+  return obj.chunk(u.chunk).bytes;
+}
+
+std::vector<UnitRef> Registry::units_overlapping(std::uint64_t lo,
+                                                 std::uint64_t hi) const {
+  std::lock_guard<std::mutex> lk(mu_);
+  std::vector<UnitRef> out;
+  addr_map_.for_each_overlapping(lo, hi,
+                                 [&](const UnitRef& u) { out.push_back(u); });
+  return out;
+}
+
 mem::Tier Registry::unit_tier(UnitRef u) const {
   std::lock_guard<std::mutex> lk(mu_);
   return objects_.at(u.object)->chunk(u.chunk).current_tier();

@@ -59,6 +59,14 @@ class Registry {
   std::size_t unit_bytes(UnitRef u) const;
   mem::Tier unit_tier(UnitRef u) const;
 
+  /// unit_bytes for possibly-stale refs (e.g. a plan inspected after the
+  /// app freed its objects): 0 when the unit no longer exists.
+  std::size_t try_unit_bytes(UnitRef u) const;
+
+  /// Every unit whose mapped range intersects [lo, hi).
+  std::vector<UnitRef> units_overlapping(std::uint64_t lo,
+                                         std::uint64_t hi) const;
+
   /// All units, in (object, chunk) order.
   std::vector<UnitRef> all_units() const;
 

@@ -69,7 +69,15 @@ DataObject* Runtime::malloc_object(const std::string& name, std::size_t bytes,
                               ? opts_.chunk_bytes
                               : 0)
                        : chunk_bytes_for(traits.chunkable, bytes);
-  return registry_->create(name, bytes, traits, mem::Tier::kNvm, cb);
+  DataObject* obj = registry_->create(name, bytes, traits, mem::Tier::kNvm, cb);
+  // Raw app accesses (checksum taps, fill patterns) go through
+  // chunk_span(); fence them against the migration helper so the app
+  // never reads or writes a chunk mid-copy.  Virtual time is not charged:
+  // the modeled cost of these taps stays inside the declared phases.
+  obj->set_access_fence([this](const DataObject& o, std::size_t chunk) {
+    migrator_->wait_for(UnitRef{o.id(), static_cast<std::uint32_t>(chunk)});
+  });
+  return obj;
 }
 
 void Runtime::free_object(DataObject* obj) {
@@ -228,13 +236,32 @@ void Runtime::phase_boundary() {
   open_phase();
 }
 
+void Runtime::wait_for_buffer(const void* buf, std::size_t bytes) {
+  if (buf == nullptr || bytes == 0) return;
+  const auto lo = reinterpret_cast<std::uint64_t>(buf);
+  for (const UnitRef& u : registry_->units_overlapping(lo, lo + bytes)) {
+    double done_vt = migrator_->wait_for(u);
+    double waited = clock().wait_until(done_vt);
+    if (waited > 0) migrator_->add_exposed_wait(waited);
+  }
+}
+
 void Runtime::on_pre_op(const mpi::OpInfo& info) {
-  if (!started_ || !info.blocking) return;
+  if (!started_) return;
+  // Correctness mirror of compute(): minimpi is about to memcpy the op's
+  // buffers, so any in-flight migration of their owning units must finish
+  // first (otherwise the helper thread's copy races the op).  Applies to
+  // non-blocking calls too — an eager isend reads its payload right away.
+  wait_for_buffer(info.read_buf, info.read_bytes);
+  wait_for_buffer(info.write_buf, info.write_bytes);
+  if (!info.blocking) return;
   // The blocking MPI call ends the computation phase and is itself a
-  // communication phase.
+  // communication phase.  The comm phase's own planned migrations are NOT
+  // enqueued here: the helper could start copying a unit while the op
+  // memcpys the same buffer (the wait above only covers already-enqueued
+  // work).  They are issued in on_post_op, once the op's copies are done.
   close_phase(false, 0.0);
   ++phase_idx_;
-  if (mode_ == Mode::kEnforcing) enqueue_phase_migrations(phase_idx_);
   open_phase();
 }
 
@@ -242,7 +269,10 @@ void Runtime::on_post_op(const mpi::OpInfo& info) {
   if (!started_ || !info.blocking) return;
   close_phase(true, 0.0);
   ++phase_idx_;
-  if (mode_ == Mode::kEnforcing) enqueue_phase_migrations(phase_idx_);
+  if (mode_ == Mode::kEnforcing) {
+    enqueue_phase_migrations(phase_idx_ - 1);  // deferred from on_pre_op
+    enqueue_phase_migrations(phase_idx_);
+  }
   open_phase();
 }
 

@@ -131,6 +131,10 @@ class Runtime final : public Context, public mpi::PmpiHooks {
   const clk::VirtualClock& clock() const;
   void close_phase(bool is_comm, double comm_time);
   void open_phase();
+  /// Block until in-flight migrations of every unit overlapping
+  /// [buf, buf+bytes) are done, charging the exposed wait (the MPI-path
+  /// twin of compute()'s wait — see on_pre_op).
+  void wait_for_buffer(const void* buf, std::size_t bytes);
   void enqueue_phase_migrations(std::size_t phase_idx);
   void make_plan();
   void apply_initial_placement();

@@ -202,7 +202,8 @@ void Comm::barrier() {
 }
 
 void Comm::allreduce(double* buf, std::size_t n, ReduceOp op) {
-  OpInfo info{OpKind::kAllreduce, -1, n * sizeof(double), true};
+  OpInfo info{OpKind::kAllreduce, -1, n * sizeof(double), true,
+              buf, n * sizeof(double), buf, n * sizeof(double)};
   pre(info);
   std::uint64_t seq = world_->impl_->coll_seq[rank_]++;
   typed_allreduce(*world_, *world_->impl_, *this, clock_, buf, n, op, seq);
@@ -210,7 +211,8 @@ void Comm::allreduce(double* buf, std::size_t n, ReduceOp op) {
 }
 
 void Comm::allreduce(std::uint64_t* buf, std::size_t n, ReduceOp op) {
-  OpInfo info{OpKind::kAllreduce, -1, n * sizeof(std::uint64_t), true};
+  OpInfo info{OpKind::kAllreduce, -1, n * sizeof(std::uint64_t), true,
+              buf, n * sizeof(std::uint64_t), buf, n * sizeof(std::uint64_t)};
   pre(info);
   std::uint64_t seq = world_->impl_->coll_seq[rank_]++;
   typed_allreduce(*world_, *world_->impl_, *this, clock_, buf, n, op, seq);
@@ -218,7 +220,12 @@ void Comm::allreduce(std::uint64_t* buf, std::size_t n, ReduceOp op) {
 }
 
 void Comm::reduce(double* buf, std::size_t n, int root, ReduceOp op) {
-  OpInfo info{OpKind::kReduce, root, n * sizeof(double), true};
+  OpInfo info{OpKind::kReduce, root, n * sizeof(double), true,
+              buf, n * sizeof(double)};
+  if (rank_ == root) {
+    info.write_buf = buf;
+    info.write_bytes = n * sizeof(double);
+  }
   pre(info);
   std::uint64_t seq = world_->impl_->coll_seq[rank_]++;
   const std::size_t bytes = n * sizeof(double);
@@ -244,6 +251,13 @@ void Comm::reduce(double* buf, std::size_t n, int root, ReduceOp op) {
 
 void Comm::bcast(void* buf, std::size_t bytes, int root) {
   OpInfo info{OpKind::kBcast, root, bytes, true};
+  if (rank_ == root) {
+    info.read_buf = buf;
+    info.read_bytes = bytes;
+  } else {
+    info.write_buf = buf;
+    info.write_bytes = bytes;
+  }
   pre(info);
   std::uint64_t seq = world_->impl_->coll_seq[rank_]++;
   const int my_rank = rank_;
@@ -304,21 +318,23 @@ void Comm::pop_message(int src, int tag, void* buf, std::size_t bytes) {
 }
 
 void Comm::send(const void* buf, std::size_t bytes, int dst, int tag) {
-  OpInfo info{OpKind::kSend, dst, bytes, true};
+  OpInfo info{OpKind::kSend, dst, bytes, true, buf, bytes};
   pre(info);
   push_message(dst, tag, buf, bytes);
   post(info);
 }
 
 void Comm::recv(void* buf, std::size_t bytes, int src, int tag) {
-  OpInfo info{OpKind::kRecv, src, bytes, true};
+  OpInfo info{OpKind::kRecv, src, bytes, true, nullptr, 0, buf, bytes};
   pre(info);
   pop_message(src, tag, buf, bytes);
   post(info);
 }
 
 Request Comm::isend(const void* buf, std::size_t bytes, int dst, int tag) {
-  OpInfo info{OpKind::kIsend, dst, bytes, false};
+  // Eager send: the payload is read (buffered) immediately, so the
+  // read-side wait applies even though the call is non-blocking.
+  OpInfo info{OpKind::kIsend, dst, bytes, false, buf, bytes};
   pre(info);
   push_message(dst, tag, buf, bytes);  // eager: buffered immediately
   post(info);
@@ -347,6 +363,10 @@ Request Comm::irecv(void* buf, std::size_t bytes, int src, int tag) {
 
 void Comm::wait(Request& req) {
   OpInfo info{OpKind::kWait, req.peer, req.bytes, true};
+  if (req.kind == Request::Kind::kRecv && !req.done) {
+    info.write_buf = req.buf;
+    info.write_bytes = req.bytes;
+  }
   pre(info);
   if (req.kind == Request::Kind::kRecv && !req.done) {
     pop_message(req.peer, req.tag, req.buf, req.bytes);
@@ -357,7 +377,8 @@ void Comm::wait(Request& req) {
 
 void Comm::sendrecv(const void* sbuf, std::size_t sbytes, int dst, void* rbuf,
                     std::size_t rbytes, int src, int tag) {
-  OpInfo info{OpKind::kSendrecv, dst, sbytes + rbytes, true};
+  OpInfo info{OpKind::kSendrecv, dst, sbytes + rbytes, true,
+              sbuf, sbytes, rbuf, rbytes};
   pre(info);
   push_message(dst, tag, sbuf, sbytes);
   pop_message(src, tag, rbuf, rbytes);
@@ -365,8 +386,10 @@ void Comm::sendrecv(const void* sbuf, std::size_t sbytes, int dst, void* rbuf,
 }
 
 void Comm::alltoall(const void* sbuf, void* rbuf, std::size_t bytes_per_rank) {
-  OpInfo info{OpKind::kAlltoall, -1,
-              bytes_per_rank * static_cast<std::size_t>(size()), true};
+  const std::size_t all_bytes =
+      bytes_per_rank * static_cast<std::size_t>(size());
+  OpInfo info{OpKind::kAlltoall, -1, all_bytes, true,
+              sbuf, all_bytes, rbuf, all_bytes};
   pre(info);
   const auto* s = static_cast<const std::byte*>(sbuf);
   auto* r = static_cast<std::byte*>(rbuf);

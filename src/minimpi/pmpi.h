@@ -56,6 +56,15 @@ struct OpInfo {
   /// Blocking calls delineate phases (paper §2.1); non-blocking calls are
   /// merged into the immediately following phase.
   bool blocking = true;
+  /// Application buffers this rank's call reads/writes (exactly what a
+  /// PMPI wrapper sees).  The Unimem hook holds the op until in-flight
+  /// migrations of the owning data units complete — the same "a phase
+  /// must not run while its objects are in flight" rule compute phases
+  /// follow; without it the helper thread's copy races the op's memcpy.
+  const void* read_buf = nullptr;
+  std::size_t read_bytes = 0;
+  const void* write_buf = nullptr;
+  std::size_t write_bytes = 0;
 };
 
 class PmpiHooks {

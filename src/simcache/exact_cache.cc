@@ -1,54 +1,235 @@
 #include "simcache/exact_cache.h"
 
 #include <algorithm>
+#include <cstdio>
+#include <cstdlib>
 
 #include "common/rng.h"
 #include "common/units.h"
 
 namespace unimem::cache {
+namespace {
+
+/// One access against a packed set: branchless tag search, then an age
+/// update (0 = MRU .. ways-1 = LRU; the ages of a set always form a
+/// permutation).  Returns true on miss.
+inline bool access_set(std::uint64_t* t, std::uint8_t* a, int ways,
+                       std::uint64_t tag) {
+  int hit = -1;
+  for (int w = 0; w < ways; ++w)
+    if (t[w] == tag) hit = w;
+  if (hit >= 0) {
+    const std::uint8_t ha = a[hit];
+    for (int w = 0; w < ways; ++w)
+      a[w] = static_cast<std::uint8_t>(a[w] + (a[w] < ha ? 1 : 0));
+    a[hit] = 0;
+    return false;
+  }
+  const std::uint8_t oldest = static_cast<std::uint8_t>(ways - 1);
+  int victim = 0;
+  for (int w = 0; w < ways; ++w)
+    if (a[w] == oldest) victim = w;
+  for (int w = 0; w < ways; ++w) a[w] = static_cast<std::uint8_t>(a[w] + 1);
+  t[victim] = tag;
+  a[victim] = 0;
+  return true;
+}
+
+/// One exact LRU pass of `m` distinct tags over one set; tag_at(k) yields
+/// the k-th tag of the set's visit substream.  Key property (distinct
+/// tags): an access at position k can hit only a tag resident at pass
+/// start, and any such tag is hit or evicted within 2*ways accesses, so
+/// positions >= 2*ways always miss.  We therefore simulate at most the
+/// first min(m, 2*ways) accesses — and skip even that when no resident tag
+/// falls inside [win_lo, win_hi], a range covering those window tags —
+/// then splice the all-miss tail state in O(ways).
+template <class TagAt>
+inline std::uint64_t pass_over_set(std::uint64_t* t, std::uint8_t* a,
+                                   int ways, std::uint64_t m,
+                                   std::uint64_t win_lo, std::uint64_t win_hi,
+                                   TagAt&& tag_at) {
+  const std::uint64_t uways = static_cast<std::uint64_t>(ways);
+  const std::uint64_t k_window = std::min<std::uint64_t>(m, 2 * uways);
+  bool maybe_hit = false;
+  for (int w = 0; w < ways; ++w)
+    maybe_hit |= (t[w] >= win_lo && t[w] <= win_hi);
+
+  std::uint64_t misses = 0;
+  std::uint64_t done = 0;
+  if (maybe_hit)
+    for (; done < k_window; ++done)
+      misses += access_set(t, a, ways, tag_at(done)) ? 1 : 0;
+
+  const std::uint64_t rem = m - done;
+  if (rem > 0) {
+    misses += rem;
+    if (rem >= uways) {
+      // Full replacement: the last `ways` tags, newest first.
+      for (int w = 0; w < ways; ++w) {
+        t[w] = tag_at(m - 1 - static_cast<std::uint64_t>(w));
+        a[w] = static_cast<std::uint8_t>(w);
+      }
+    } else {
+      // Survivors age by `rem`; the `rem` oldest ways take the tail tags.
+      const std::uint8_t keep = static_cast<std::uint8_t>(uways - rem);
+      for (int w = 0; w < ways; ++w) {
+        if (a[w] < keep) {
+          a[w] = static_cast<std::uint8_t>(a[w] + rem);
+        } else {
+          const std::uint8_t na = static_cast<std::uint8_t>(a[w] - keep);
+          t[w] = tag_at(m - 1 - na);
+          a[w] = na;
+        }
+      }
+    }
+  }
+  return misses;
+}
+
+}  // namespace
 
 ExactCache::ExactCache(CacheConfig cfg)
     : cfg_(cfg),
       sets_(cfg.num_sets()),
+      ways_(cfg.ways),
       tags_(sets_ * cfg.ways, 0),
-      lru_(sets_ * cfg.ways, 0) {}
+      ages_(sets_ * cfg.ways, 0) {
+  // Ages are uint8 (0 = MRU .. ways-1 = LRU); a wider config would wrap
+  // silently and corrupt the ground-truth miss counts.
+  if (ways_ < 1 || ways_ > 255) {
+    std::fprintf(stderr, "ExactCache: ways must be in [1, 255] (got %d)\n",
+                 ways_);
+    std::abort();
+  }
+  sets_pow2_ = sets_ > 0 && (sets_ & (sets_ - 1)) == 0;
+  if (sets_pow2_)
+    while ((std::size_t{1} << set_shift_) < sets_) ++set_shift_;
+  reset();
+}
 
 void ExactCache::reset() {
   std::fill(tags_.begin(), tags_.end(), 0);
-  std::fill(lru_.begin(), lru_.end(), 0);
-  stamp_ = 0;
+  // Invalid ways fill in way order (age ways-1 is the victim).
+  for (std::size_t s = 0; s < sets_; ++s)
+    for (int w = 0; w < ways_; ++w)
+      ages_[s * static_cast<std::size_t>(ways_) + static_cast<std::size_t>(w)] =
+          static_cast<std::uint8_t>(ways_ - 1 - w);
 }
 
 bool ExactCache::touch(std::uint64_t addr) {
-  const std::uint64_t line = addr / cfg_.line_bytes;
-  const std::size_t set = line % sets_;
-  const std::uint64_t tag = line / sets_ + 1;  // +1 so 0 stays "invalid"
-  std::uint64_t* t = &tags_[set * cfg_.ways];
-  std::uint64_t* u = &lru_[set * cfg_.ways];
-  ++stamp_;
-  int victim = 0;
-  for (int w = 0; w < cfg_.ways; ++w) {
-    if (t[w] == tag) {  // hit
-      u[w] = stamp_;
-      return false;
-    }
-    if (u[w] < u[victim]) victim = w;
+  return touch_line(addr / cfg_.line_bytes);
+}
+
+bool ExactCache::touch_line(std::uint64_t line) {
+  std::size_t set;
+  std::uint64_t tag;
+  if (sets_pow2_) {
+    set = static_cast<std::size_t>(line & (sets_ - 1));
+    tag = (line >> set_shift_) + 1;
+  } else {
+    set = static_cast<std::size_t>(line % sets_);
+    tag = line / sets_ + 1;
   }
-  t[victim] = tag;  // miss: fill
-  u[victim] = stamp_;
-  return true;
+  const std::size_t o = set * static_cast<std::size_t>(ways_);
+  return access_set(&tags_[o], &ages_[o], ways_, tag);
+}
+
+std::uint64_t ExactCache::sequential_pass(std::uint64_t first_line,
+                                          std::uint64_t len) {
+  std::uint64_t misses = 0;
+  // Short passes: the per-set machinery costs O(sets x ways); walk the
+  // lines directly instead.
+  if (len < 2 * sets_) {
+    for (std::uint64_t i = 0; i < len; ++i)
+      misses += touch_line(first_line + i) ? 1 : 0;
+    return misses;
+  }
+  const std::uint64_t start_set = first_line % sets_;
+  for (std::size_t s = 0; s < sets_; ++s) {
+    // First visit offset of set s within [first_line, first_line + len).
+    const std::uint64_t o = (s + sets_ - start_set) % sets_;
+    if (o >= len) continue;
+    const std::uint64_t m = 1 + (len - 1 - o) / sets_;
+    // Consecutive visits of a set are sets_ lines apart, so its tags are
+    // the arithmetic run t0, t0+1, ...
+    const std::uint64_t t0 = (first_line + o) / sets_ + 1;
+    const std::uint64_t k_window =
+        std::min<std::uint64_t>(m, 2 * static_cast<std::uint64_t>(ways_));
+    const std::size_t off = s * static_cast<std::size_t>(ways_);
+    misses += pass_over_set(&tags_[off], &ages_[off], ways_, m, t0,
+                            t0 + k_window - 1,
+                            [t0](std::uint64_t k) { return t0 + k; });
+  }
+  return misses;
+}
+
+void ExactCache::build_strided_csr(std::uint64_t base_addr, std::size_t stride,
+                                   std::uint64_t slots) {
+  csr_off_.assign(sets_ + 1, 0);
+  csr_fill_.assign(sets_, 0);
+  const std::uint64_t invalid = ~std::uint64_t{0};
+  // Count distinct-line visits per set (byte addresses are monotone within
+  // a period, so duplicates are consecutive).
+  std::uint64_t prev = invalid;
+  for (std::uint64_t k = 0; k < slots; ++k) {
+    const std::uint64_t line = (base_addr + k * stride) / kCacheLine;
+    if (line == prev) continue;
+    prev = line;
+    ++csr_off_[(line % sets_) + 1];
+  }
+  for (std::size_t s = 0; s < sets_; ++s) csr_off_[s + 1] += csr_off_[s];
+  csr_tags_.resize(csr_off_[sets_]);
+  prev = invalid;
+  for (std::uint64_t k = 0; k < slots; ++k) {
+    const std::uint64_t line = (base_addr + k * stride) / kCacheLine;
+    if (line == prev) continue;
+    prev = line;
+    const std::size_t s = static_cast<std::size_t>(line % sets_);
+    csr_tags_[csr_off_[s] + csr_fill_[s]++] = line / sets_ + 1;
+  }
+  // Hit-window tag range per set (first min(m, 2*ways) visits).
+  csr_win_lo_.assign(sets_, 0);
+  csr_win_hi_.assign(sets_, 0);
+  for (std::size_t s = 0; s < sets_; ++s) {
+    const std::uint32_t m = csr_off_[s + 1] - csr_off_[s];
+    if (m == 0) continue;
+    const std::uint32_t k_window =
+        std::min<std::uint32_t>(m, static_cast<std::uint32_t>(2 * ways_));
+    std::uint64_t lo = ~std::uint64_t{0}, hi = 0;
+    for (std::uint32_t k = 0; k < k_window; ++k) {
+      const std::uint64_t tag = csr_tags_[csr_off_[s] + k];
+      lo = std::min(lo, tag);
+      hi = std::max(hi, tag);
+    }
+    csr_win_lo_[s] = lo;
+    csr_win_hi_[s] = hi;
+  }
+}
+
+std::uint64_t ExactCache::strided_pass() {
+  std::uint64_t misses = 0;
+  for (std::size_t s = 0; s < sets_; ++s) {
+    const std::uint32_t m = csr_off_[s + 1] - csr_off_[s];
+    if (m == 0) continue;
+    const std::uint64_t* tags = &csr_tags_[csr_off_[s]];
+    const std::size_t off = s * static_cast<std::size_t>(ways_);
+    misses += pass_over_set(&tags_[off], &ages_[off], ways_, m,
+                            csr_win_lo_[s], csr_win_hi_[s],
+                            [tags](std::uint64_t k) { return tags[k]; });
+  }
+  return misses;
 }
 
 AccessResult ExactCache::process(const AccessDescriptor& d, int default_mlp) {
   AccessResult r;
   if (d.accesses == 0 || d.region_bytes == 0 || d.base == nullptr) return r;
   const auto base = reinterpret_cast<std::uint64_t>(d.base);
+  // The bulk paths decompose line = base/64 + index, which needs the
+  // configured line size to be the global kCacheLine (true everywhere; the
+  // guard keeps odd configs exact rather than fast).
+  const bool fast = cfg_.line_bytes == kCacheLine;
+  const std::uint64_t base_line = base / kCacheLine;
   Rng rng(d.seed * 0x2545F4914F6CDD1Dull + 7);
-
-  auto touch_count = [&](std::uint64_t addr) {
-    ++r.line_touches;
-    if (touch(addr)) ++r.misses;
-  };
 
   switch (d.pattern) {
     case Pattern::kSequential: {
@@ -56,27 +237,48 @@ AccessResult ExactCache::process(const AccessDescriptor& d, int default_mlp) {
       // multiple passes.
       const std::uint64_t touches = d.line_touches();
       const std::uint64_t region_lines = lines_of(d.region_bytes);
-      for (std::uint64_t i = 0; i < touches; ++i) {
-        std::uint64_t line_idx = i % region_lines;
-        touch_count(base + line_idx * kCacheLine);
+      r.line_touches = touches;
+      if (fast) {
+        const std::uint64_t full = touches / region_lines;
+        const std::uint64_t tail = touches % region_lines;
+        for (std::uint64_t p = 0; p < full; ++p)
+          r.misses += sequential_pass(base_line, region_lines);
+        if (tail > 0) r.misses += sequential_pass(base_line, tail);
+      } else {
+        for (std::uint64_t i = 0; i < touches; ++i)
+          r.misses += touch(base + (i % region_lines) * kCacheLine) ? 1 : 0;
       }
       break;
     }
     case Pattern::kStrided: {
-      const std::uint64_t slots =
-          std::max<std::uint64_t>(1, d.region_bytes / std::max<std::size_t>(d.stride_bytes, 1));
-      for (std::uint64_t i = 0; i < d.accesses; ++i) {
-        std::uint64_t slot = i % slots;
-        touch_count(base + slot * d.stride_bytes);
+      const std::uint64_t slots = std::max<std::uint64_t>(
+          1, d.region_bytes / std::max<std::size_t>(d.stride_bytes, 1));
+      r.line_touches = d.accesses;
+      if (fast && d.accesses >= slots) {
+        const std::uint64_t full = d.accesses / slots;
+        const std::uint64_t tail = d.accesses % slots;
+        build_strided_csr(base, d.stride_bytes, slots);
+        for (std::uint64_t p = 0; p < full; ++p) r.misses += strided_pass();
+        for (std::uint64_t k = 0; k < tail; ++k)
+          r.misses +=
+              touch_line((base + k * d.stride_bytes) / kCacheLine) ? 1 : 0;
+      } else {
+        for (std::uint64_t i = 0; i < d.accesses; ++i)
+          r.misses += touch(base + (i % slots) * d.stride_bytes) ? 1 : 0;
       }
       break;
     }
     case Pattern::kRandom:
     case Pattern::kGather: {
       const std::uint64_t region_lines = lines_of(d.region_bytes);
-      for (std::uint64_t i = 0; i < d.accesses; ++i) {
-        std::uint64_t line_idx = rng.below(region_lines);
-        touch_count(base + line_idx * kCacheLine);
+      r.line_touches = d.accesses;
+      if (fast) {
+        for (std::uint64_t i = 0; i < d.accesses; ++i)
+          r.misses += touch_line(base_line + rng.below(region_lines)) ? 1 : 0;
+      } else {
+        for (std::uint64_t i = 0; i < d.accesses; ++i)
+          r.misses +=
+              touch(base + rng.below(region_lines) * kCacheLine) ? 1 : 0;
       }
       break;
     }
@@ -84,10 +286,15 @@ AccessResult ExactCache::process(const AccessDescriptor& d, int default_mlp) {
       // A chase visits lines in a pseudo-random dependent order; for miss
       // accounting the address stream is random within the region.
       const std::uint64_t region_lines = lines_of(d.region_bytes);
+      r.line_touches = d.accesses;
       std::uint64_t line_idx = rng.below(region_lines);
       for (std::uint64_t i = 0; i < d.accesses; ++i) {
-        touch_count(base + line_idx * kCacheLine);
-        line_idx = (line_idx * 6364136223846793005ull + rng.below(region_lines)) %
+        r.misses += (fast ? touch_line(base_line + line_idx)
+                          : touch(base + line_idx * kCacheLine))
+                        ? 1
+                        : 0;
+        line_idx = (line_idx * 6364136223846793005ull +
+                    rng.below(region_lines)) %
                    region_lines;
       }
       break;

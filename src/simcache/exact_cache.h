@@ -3,6 +3,15 @@
 // Ground truth for the analytic model and the engine used by unit tests and
 // small examples.  Works at cache-line granularity; the address streams are
 // generated from the descriptor deterministically (seeded).
+//
+// The state is packed per set: a contiguous tag array per set searched
+// branchlessly, and small-int LRU ages (0 = MRU .. ways-1 = LRU, a
+// permutation per set) instead of global 64-bit use stamps.  process()
+// walks cache lines in bulk — never individual byte addresses — and takes
+// an O(sets x ways) per-pass shortcut for cyclic distinct-line streams
+// (dense sequential and strided descriptors), which is where production
+// problem sizes spend their time.  touch() remains the simple byte-address
+// oracle the equivalence tests drive.
 #pragma once
 
 #include <cstdint>
@@ -20,16 +29,41 @@ class ExactCache final : public CacheModel {
   void reset() override;
   const CacheConfig& config() const override { return cfg_; }
 
-  /// Touch a single byte address; returns true on miss.  Exposed for tests.
+  /// Touch a single byte address; returns true on miss.  Exposed for tests
+  /// as the one-access-at-a-time oracle the bulk path is checked against.
   bool touch(std::uint64_t addr);
 
  private:
+  /// One line-granular access against the packed per-set state.
+  bool touch_line(std::uint64_t line);
+
+  /// One exact LRU pass of `len` consecutive lines starting at
+  /// `first_line`; returns the miss count.  Uses the per-set distinct-tag
+  /// shortcut when the pass is long enough to amortize it.
+  std::uint64_t sequential_pass(std::uint64_t first_line, std::uint64_t len);
+
+  /// Build the per-set CSR visit streams for one period of a strided
+  /// descriptor (consecutive duplicate lines collapsed), then run one
+  /// exact pass over them; returns the miss count.
+  void build_strided_csr(std::uint64_t base_addr, std::size_t stride,
+                         std::uint64_t slots);
+  std::uint64_t strided_pass();
+
   CacheConfig cfg_;
   std::size_t sets_;
-  // tags_[set * ways + way]; 0 means invalid.  lru_ holds last-use stamps.
+  int ways_;
+  bool sets_pow2_ = false;
+  std::uint32_t set_shift_ = 0;  ///< log2(sets_) when sets_pow2_
+  // Packed per-set state: tags_[set * ways + way], 0 = invalid;
+  // ages_[set * ways + way] is the way's LRU age (0 = MRU).
   std::vector<std::uint64_t> tags_;
-  std::vector<std::uint64_t> lru_;
-  std::uint64_t stamp_ = 0;
+  std::vector<std::uint8_t> ages_;
+
+  // Scratch for the strided bulk path, reused across process() calls.
+  std::vector<std::uint32_t> csr_off_;   ///< sets_ + 1 prefix offsets
+  std::vector<std::uint32_t> csr_fill_;  ///< per-set fill cursor (build)
+  std::vector<std::uint64_t> csr_tags_;  ///< per-set tags in visit order
+  std::vector<std::uint64_t> csr_win_lo_, csr_win_hi_;  ///< hit-window range
 };
 
 }  // namespace unimem::cache

@@ -3,6 +3,8 @@
 // planner relies on.
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <cstdint>
 #include <vector>
 
 #include "common/rng.h"
@@ -115,6 +117,94 @@ TEST_P(KnapsackProperty, MatchesBruteForce) {
 
 INSTANTIATE_TEST_SUITE_P(Seeds, KnapsackProperty,
                          ::testing::Values(11, 22, 33, 44, 55, 66, 77, 88));
+
+TEST(Knapsack, AllCandidatesFitFastPath) {
+  // Total positive-weight granules below capacity: everything useful is
+  // selected without running a DP, non-positive items still excluded.
+  KnapsackSolver s(1024);
+  std::vector<KnapsackItem> items = {
+      {1.0, 1000}, {-1.0, 1000}, {0.5, 3000}, {0.0, 500}};
+  KnapsackResult r = s.solve(items, 1 << 20);
+  ASSERT_EQ(r.selected, (std::vector<std::size_t>{0, 2}));
+  EXPECT_DOUBLE_EQ(r.total_weight, 1.5);
+  EXPECT_EQ(r.total_bytes, 4000u);
+}
+
+// Property (larger instances): the DP stays optimal up to 20 items, the
+// regime the planner sees per phase on most workloads.
+class KnapsackProperty20 : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(KnapsackProperty20, MatchesBruteForceUpTo20Items) {
+  Rng rng(GetParam());
+  for (int round = 0; round < 3; ++round) {
+    const int n = 13 + static_cast<int>(rng.below(8));  // 13..20 items
+    std::vector<KnapsackItem> items;
+    for (int i = 0; i < n; ++i)
+      items.push_back(KnapsackItem{rng.uniform(-0.2, 1.0),
+                                   64 * (1 + rng.below(64))});
+    std::size_t capacity = 64 * (1 + rng.below(512));
+    KnapsackSolver s(64);
+    KnapsackResult r = s.solve(items, capacity);
+    std::size_t bytes = 0;
+    double w = 0;
+    for (std::size_t idx : r.selected) {
+      bytes += items[idx].bytes;
+      w += items[idx].weight;
+    }
+    EXPECT_LE(bytes, capacity);
+    EXPECT_NEAR(w, r.total_weight, 1e-9);
+    EXPECT_NEAR(r.total_weight, brute_force_best(items, capacity), 1e-9);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, KnapsackProperty20,
+                         ::testing::Values(101, 202, 303));
+
+TEST(Knapsack, QuantizationNeverOvercommits) {
+  // With a coarse granule and sizes that are not granule multiples, the
+  // selection's rounded-up granules must fit the quantized capacity — the
+  // solver may under-use DRAM but can never over-commit it.
+  const std::size_t granule = 4096;
+  Rng rng(7);
+  for (int round = 0; round < 50; ++round) {
+    const int n = 2 + static_cast<int>(rng.below(14));
+    std::vector<KnapsackItem> items;
+    for (int i = 0; i < n; ++i)
+      items.push_back(KnapsackItem{rng.uniform(-0.2, 1.0),
+                                   1 + rng.below(10 * granule)});
+    const std::size_t capacity = 1 + rng.below(n * 4 * granule);
+    KnapsackSolver s(granule);
+    KnapsackResult r = s.solve(items, capacity);
+    std::size_t quantized = 0;
+    for (std::size_t idx : r.selected)
+      quantized += (items[idx].bytes + granule - 1) / granule;
+    EXPECT_LE(quantized, capacity / granule)
+        << "round " << round << ": quantized selection over-commits";
+  }
+}
+
+TEST(Knapsack, HugeInstanceStaysFeasibleAndUseful) {
+  // Item-count x capacity far past the dense-DP budget: the solver must
+  // switch to the bounded-approximation path — still feasible, still at
+  // least as good as the best single item, and fast enough to run here.
+  Rng rng(5);
+  std::vector<KnapsackItem> items;
+  for (int i = 0; i < 64; ++i)
+    items.push_back(
+        KnapsackItem{rng.uniform(0.0, 1.0), 50000 + rng.below(2000000)});
+  const std::size_t capacity = 1 << 20;  // granule 1: ~64 x 2^20 DP cells
+  KnapsackSolver s(1);
+  KnapsackResult r = s.solve(items, capacity);
+  ASSERT_FALSE(r.selected.empty());
+  std::size_t bytes = 0;
+  for (std::size_t idx : r.selected) bytes += items[idx].bytes;
+  EXPECT_LE(bytes, capacity);
+  EXPECT_EQ(bytes, r.total_bytes);
+  double best_single = 0;
+  for (const KnapsackItem& it : items)
+    if (it.bytes <= capacity) best_single = std::max(best_single, it.weight);
+  EXPECT_GE(r.total_weight, best_single - 1e-12);
+}
 
 }  // namespace
 }  // namespace unimem::rt

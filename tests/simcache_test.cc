@@ -3,8 +3,10 @@
 // depend on (they use the analytic model; tests anchor it to ground truth).
 #include <gtest/gtest.h>
 
+#include <cstdint>
 #include <vector>
 
+#include "common/rng.h"
 #include "common/units.h"
 #include "simcache/access_descriptor.h"
 #include "simcache/analytic_cache.h"
@@ -146,6 +148,141 @@ TEST(AnalyticCache, ChunkSlicesShareTheCache) {
               static_cast<double>(r.line_touches),
               static_cast<double>(r.line_touches) * 0.01);
 }
+
+// ---------------------------------------------------------------------------
+// Property: ExactCache's bulk process() path (per-set pass shortcuts, CSR
+// strided streams) is access-for-access equivalent to the retained touch()
+// oracle.  The oracle below replays the descriptor's address stream one
+// byte address at a time — the definitional reference implementation.
+
+AccessResult oracle_process(ExactCache& c, const AccessDescriptor& d,
+                            int default_mlp) {
+  AccessResult r;
+  if (d.accesses == 0 || d.region_bytes == 0 || d.base == nullptr) return r;
+  const auto base = reinterpret_cast<std::uint64_t>(d.base);
+  // Same seeding as ExactCache::process so randomized streams coincide.
+  Rng rng(d.seed * 0x2545F4914F6CDD1Dull + 7);
+  auto touch_count = [&](std::uint64_t addr) {
+    ++r.line_touches;
+    if (c.touch(addr)) ++r.misses;
+  };
+  switch (d.pattern) {
+    case Pattern::kSequential: {
+      const std::uint64_t touches = d.line_touches();
+      const std::uint64_t region_lines = lines_of(d.region_bytes);
+      for (std::uint64_t i = 0; i < touches; ++i)
+        touch_count(base + (i % region_lines) * kCacheLine);
+      break;
+    }
+    case Pattern::kStrided: {
+      const std::uint64_t slots = std::max<std::uint64_t>(
+          1, d.region_bytes / std::max<std::size_t>(d.stride_bytes, 1));
+      for (std::uint64_t i = 0; i < d.accesses; ++i)
+        touch_count(base + (i % slots) * d.stride_bytes);
+      break;
+    }
+    case Pattern::kRandom:
+    case Pattern::kGather: {
+      const std::uint64_t region_lines = lines_of(d.region_bytes);
+      for (std::uint64_t i = 0; i < d.accesses; ++i)
+        touch_count(base + rng.below(region_lines) * kCacheLine);
+      break;
+    }
+    case Pattern::kPointerChase: {
+      const std::uint64_t region_lines = lines_of(d.region_bytes);
+      std::uint64_t line_idx = rng.below(region_lines);
+      for (std::uint64_t i = 0; i < d.accesses; ++i) {
+        touch_count(base + line_idx * kCacheLine);
+        line_idx = (line_idx * 6364136223846793005ull +
+                    rng.below(region_lines)) %
+                   region_lines;
+      }
+      break;
+    }
+  }
+  r.serialized_misses =
+      static_cast<double>(r.misses) / effective_mlp(d, default_mlp);
+  return r;
+}
+
+struct EquivCase {
+  const char* name;
+  Pattern pattern;
+  std::size_t region;
+  std::uint64_t accesses;
+  std::size_t stride = 64;
+  std::size_t base_offset = 0;  ///< misalign the base address
+};
+
+class BulkOracleEquivalence : public ::testing::TestWithParam<EquivCase> {};
+
+TEST_P(BulkOracleEquivalence, BulkPathMatchesTouchOracle) {
+  const EquivCase& tc = GetParam();
+  // Cache small enough that every family exercises evictions, with an
+  // odd (non-power-of-two-sets) sibling config to cover the modulo path.
+  for (const CacheConfig cfg :
+       {CacheConfig{256 * kKiB, 16, 64}, CacheConfig{192 * kKiB, 16, 64}}) {
+    ExactCache bulk(cfg);
+    ExactCache byhand(cfg);
+    std::vector<std::byte> buf(tc.region + tc.base_offset);
+    AccessDescriptor d;
+    d.base = buf.data() + tc.base_offset;
+    d.region_bytes = tc.region;
+    d.pattern = tc.pattern;
+    d.accesses = tc.accesses;
+    d.stride_bytes = tc.stride;
+    AccessResult rb = bulk.process(d, kMlp);
+    AccessResult ro = oracle_process(byhand, d, kMlp);
+    EXPECT_EQ(rb.line_touches, ro.line_touches) << tc.name;
+    EXPECT_EQ(rb.misses, ro.misses) << tc.name;
+    EXPECT_DOUBLE_EQ(rb.serialized_misses, ro.serialized_misses) << tc.name;
+    // Warm-state equivalence: a second, different descriptor must see the
+    // exact same (tag, age) state in both instances.
+    AccessDescriptor d2 = d;
+    d2.pattern = tc.pattern == Pattern::kSequential ? Pattern::kRandom
+                                                    : Pattern::kSequential;
+    d2.accesses = 4096;
+    d2.seed = 99;
+    EXPECT_EQ(bulk.process(d2, kMlp).misses,
+              oracle_process(byhand, d2, kMlp).misses)
+        << tc.name << " (warm state diverged)";
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    DescriptorFamilies, BulkOracleEquivalence,
+    ::testing::Values(
+        // Sequential: single pass, multi pass, partial tail, tiny region,
+        // cache-resident region, and a misaligned base.
+        EquivCase{"seq_one_pass_oversized", Pattern::kSequential, 4 * kMiB,
+                  4 * kMiB / 8},
+        EquivCase{"seq_multi_pass", Pattern::kSequential, kMiB,
+                  3 * kMiB / 8 + 1234},
+        EquivCase{"seq_fits_in_cache", Pattern::kSequential, 128 * kKiB,
+                  8 * 128 * kKiB / 8},
+        EquivCase{"seq_partial_pass_only", Pattern::kSequential, 4 * kMiB,
+                  kMiB / 8},
+        EquivCase{"seq_tiny_region", Pattern::kSequential, 300, 5000},
+        EquivCase{"seq_misaligned_base", Pattern::kSequential, 2 * kMiB,
+                  6 * kMiB / 8 + 7, 64, 24},
+        // Strided: stride >= line (distinct lines), a non-line-multiple
+        // stride, dense sub-line strides, and stride > region.
+        EquivCase{"strided_256", Pattern::kStrided, 4 * kMiB, 80000, 256},
+        EquivCase{"strided_96", Pattern::kStrided, 4 * kMiB, 100000, 96},
+        EquivCase{"strided_misaligned", Pattern::kStrided, 2 * kMiB, 50000,
+                  192, 40},
+        EquivCase{"strided_dense_32", Pattern::kStrided, kMiB, 120000, 32},
+        EquivCase{"strided_dense_48", Pattern::kStrided, kMiB, 120000, 48},
+        EquivCase{"strided_gt_region", Pattern::kStrided, 4 * kKiB, 1000,
+                  8 * kKiB},
+        // Random / gather / pointer chase share the RNG stream contract.
+        EquivCase{"random_oversized", Pattern::kRandom, 4 * kMiB, 200000},
+        EquivCase{"random_resident", Pattern::kRandom, 64 * kKiB, 100000},
+        EquivCase{"gather", Pattern::kGather, 2 * kMiB, 150000},
+        EquivCase{"pointer_chase", Pattern::kPointerChase, 2 * kMiB, 100000}),
+    [](const ::testing::TestParamInfo<EquivCase>& info) {
+      return info.param.name;
+    });
 
 // ---------------------------------------------------------------------------
 // Property: the analytic model agrees with the exact simulator across the
