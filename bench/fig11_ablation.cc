@@ -6,42 +6,31 @@
 // NVM at 1/2 DRAM bandwidth.  Expected shape (paper): global search
 // dominates CG/LU; local search adds for BT/SP; chunking only helps FT;
 // initial placement helps everywhere (87% of SP's gain).
-#include "bench_common.h"
+//
+// Batch on the sweep engine: the technique axis lives in the shared
+// "fig11" SweepSpec (cumulative TechniqueSets), so the 35-point grid runs
+// under one memoized-baseline batch instead of a bespoke loop.
+#include "sweep_bench_common.h"
 
 int main() {
   using namespace unimem;
+  const sweep::SweepSpec spec = bench::resolve_spec("fig11");
+  const sweep::SweepOutcome outcome = bench::run_spec(spec);
+
   exp::Report rep(
       "Fig. 11: cumulative technique ablation at NVM = 1/2 bandwidth "
       "(normalized to DRAM-only; lower is better)");
   rep.set_header({"benchmark", "NVM-only", "(1) global", "(1)+(2) local",
                   "+(3) chunking", "+(4) initial"});
-  std::vector<std::string> all = bench::npb();
-  all.push_back("nek");
-  for (const std::string& w : all) {
-    exp::RunConfig cfg = bench::base_config(w);
-    cfg = bench::smoke(cfg);
-    cfg.nvm_bw_ratio = 0.5;
-    cfg.policy = exp::Policy::kDramOnly;
-    double dram = exp::run_once(cfg).time_s;
-    cfg.policy = exp::Policy::kNvmOnly;
-    double nvm = exp::run_once(cfg).time_s;
-
-    auto unimem_time = [&](bool local, bool chunk, bool initial) {
-      exp::RunConfig u = cfg;
-      u.policy = exp::Policy::kUnimem;
-      u.unimem.enable_global_search = true;
-      u.unimem.enable_local_search = local;
-      u.unimem.enable_chunking = chunk;
-      u.unimem.enable_initial_placement = initial;
-      return exp::run_once(u).time_s / dram;
-    };
-
-    rep.add_row({w, exp::Report::num(nvm / dram, 2),
-                 exp::Report::num(unimem_time(false, false, false), 2),
-                 exp::Report::num(unimem_time(true, false, false), 2),
-                 exp::Report::num(unimem_time(true, true, false), 2),
-                 exp::Report::num(unimem_time(true, true, true), 2)});
+  for (const std::string& w : spec.workloads) {
+    std::vector<std::string> row{
+        w, bench::cell(outcome, {{"workload", w}, {"policy", "nvm-only"}})};
+    for (const sweep::TechniqueSet& tech : spec.techniques)
+      row.push_back(bench::cell(
+          outcome,
+          {{"workload", w}, {"policy", "unimem"}, {"tech", tech.name}}));
+    rep.add_row(row);
   }
   rep.print();
-  return 0;
+  return bench::exit_code(outcome);
 }

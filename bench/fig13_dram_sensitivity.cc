@@ -3,33 +3,30 @@
 // Expected shape (paper): within ~7% of DRAM-only everywhere except MG at
 // the smallest DRAM (13%), whose large aliased objects cannot be placed or
 // chunked — yet still ~35% of the NVM gap is closed.
-#include "bench_common.h"
+//
+// Batch on the sweep engine over the shared "fig13" SweepSpec; the
+// NVM-only reference per workload collapses the DRAM axis (its timing is
+// capacity-invariant), so the grid is 7 x (1 + 3) points.
+#include "sweep_bench_common.h"
 
 int main() {
   using namespace unimem;
+  const sweep::SweepSpec spec = bench::resolve_spec("fig13");
+  const sweep::SweepOutcome outcome = bench::run_spec(spec);
+
   exp::Report rep(
       "Fig. 13: Unimem vs DRAM size (normalized to DRAM-only; paper sizes "
       "128/256/512 MB = 4/8/16 MiB scaled)");
   rep.set_header({"benchmark", "NVM-only", "4 MiB", "8 MiB", "16 MiB"});
-  std::vector<std::string> all = bench::npb();
-  all.push_back("nek");
-  for (const std::string& w : all) {
-    exp::RunConfig cfg = bench::base_config(w);
-    cfg = bench::smoke(cfg);
-    cfg.nvm_bw_ratio = 0.5;
-    cfg.policy = exp::Policy::kDramOnly;
-    double dram = exp::run_once(cfg).time_s;
-    cfg.policy = exp::Policy::kNvmOnly;
-    double nvm = exp::run_once(cfg).time_s;
-    std::vector<std::string> row{w, exp::Report::num(nvm / dram, 2)};
-    for (std::size_t mb : {4, 8, 16}) {
-      exp::RunConfig u = cfg;
-      u.policy = exp::Policy::kUnimem;
-      u.dram_capacity = mb * kMiB;
-      row.push_back(exp::Report::num(exp::run_once(u).time_s / dram, 2));
-    }
+  for (const std::string& w : spec.workloads) {
+    std::vector<std::string> row{
+        w, bench::cell(outcome, {{"workload", w}, {"policy", "nvm-only"}})};
+    for (const char* dram : {"4MiB", "8MiB", "16MiB"})
+      row.push_back(bench::cell(
+          outcome,
+          {{"workload", w}, {"policy", "unimem"}, {"dram", dram}}));
     rep.add_row(row);
   }
   rep.print();
-  return 0;
+  return bench::exit_code(outcome);
 }

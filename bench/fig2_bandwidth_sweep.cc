@@ -1,26 +1,26 @@
 // Figure 2: NVM-only execution time vs NVM bandwidth (1/2, 1/4, 1/8 of
 // DRAM), normalized to DRAM-only.  Expected shape (paper): clear slowdowns
 // growing as bandwidth shrinks; LU among the worst (2.19x at 1/2 BW).
-#include "bench_common.h"
+//
+// Runs as a batch on the sweep engine (src/sweep/): the grid is the
+// shared "fig2" SweepSpec, the DRAM-only baselines are memoized per
+// workload, and this file only pivots the rows into the figure's table.
+#include "sweep_bench_common.h"
 
 int main() {
   using namespace unimem;
-  exp::Report rep("Fig. 2: NVM-only slowdown vs bandwidth (normalized to DRAM-only)");
+  const sweep::SweepSpec spec = bench::resolve_spec("fig2");
+  const sweep::SweepOutcome outcome = bench::run_spec(spec);
+
+  exp::Report rep(
+      "Fig. 2: NVM-only slowdown vs bandwidth (normalized to DRAM-only)");
   rep.set_header({"benchmark", "1/2 BW", "1/4 BW", "1/8 BW"});
-  for (const std::string& w : bench::npb()) {
-    exp::RunConfig cfg = bench::base_config(w);
-    cfg = bench::smoke(cfg);
-    cfg.policy = exp::Policy::kDramOnly;
-    double dram = exp::run_once(cfg).time_s;
+  for (const std::string& w : spec.workloads) {
     std::vector<std::string> row{w};
-    for (double ratio : {0.5, 0.25, 0.125}) {
-      cfg.policy = exp::Policy::kNvmOnly;
-      cfg.nvm_bw_ratio = ratio;
-      cfg.nvm_lat_mult = 1.0;
-      row.push_back(exp::Report::num(exp::run_once(cfg).time_s / dram, 2));
-    }
+    for (const char* bw : {"0.5", "0.25", "0.125"})
+      row.push_back(bench::cell(outcome, {{"workload", w}, {"bw", bw}}));
     rep.add_row(row);
   }
   rep.print();
-  return 0;
+  return bench::exit_code(outcome);
 }

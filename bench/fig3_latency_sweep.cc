@@ -1,26 +1,24 @@
 // Figure 3: NVM-only execution time vs NVM latency (2x, 4x, 8x DRAM),
 // normalized to DRAM-only.  Expected shape (paper): slowdowns grow with
 // latency; LU ~2.14x already at 2x.
-#include "bench_common.h"
+//
+// Batch on the sweep engine over the shared "fig3" SweepSpec.
+#include "sweep_bench_common.h"
 
 int main() {
   using namespace unimem;
-  exp::Report rep("Fig. 3: NVM-only slowdown vs latency (normalized to DRAM-only)");
+  const sweep::SweepSpec spec = bench::resolve_spec("fig3");
+  const sweep::SweepOutcome outcome = bench::run_spec(spec);
+
+  exp::Report rep(
+      "Fig. 3: NVM-only slowdown vs latency (normalized to DRAM-only)");
   rep.set_header({"benchmark", "2x lat", "4x lat", "8x lat"});
-  for (const std::string& w : bench::npb()) {
-    exp::RunConfig cfg = bench::base_config(w);
-    cfg = bench::smoke(cfg);
-    cfg.policy = exp::Policy::kDramOnly;
-    double dram = exp::run_once(cfg).time_s;
+  for (const std::string& w : spec.workloads) {
     std::vector<std::string> row{w};
-    for (double mult : {2.0, 4.0, 8.0}) {
-      cfg.policy = exp::Policy::kNvmOnly;
-      cfg.nvm_bw_ratio = 1.0;
-      cfg.nvm_lat_mult = mult;
-      row.push_back(exp::Report::num(exp::run_once(cfg).time_s / dram, 2));
-    }
+    for (const char* lat : {"2", "4", "8"})
+      row.push_back(bench::cell(outcome, {{"workload", w}, {"lat", lat}}));
     rep.add_row(row);
   }
   rep.print();
-  return 0;
+  return bench::exit_code(outcome);
 }

@@ -1,0 +1,44 @@
+// Shared glue for the figure harnesses that run as sweep-engine batches:
+// resolve a named SweepSpec (smoke-clamped under UNIMEM_BENCH_SMOKE),
+// execute it, and pivot result rows into figure-shaped table cells.
+#pragma once
+
+#include <map>
+#include <string>
+
+#include "experiments/report.h"
+#include "sweep/engine.h"
+#include "sweep/result_store.h"
+#include "sweep/spec.h"
+
+namespace unimem::bench {
+
+/// The named spec, smoke-clamped when UNIMEM_BENCH_SMOKE is set.
+inline sweep::SweepSpec resolve_spec(const std::string& name) {
+  sweep::SweepSpec spec = *sweep::spec_by_name(name);
+  if (sweep::smoke_requested()) spec = sweep::smoke_clamped(spec);
+  return spec;
+}
+
+/// Run the whole spec on the engine (default concurrency: one job slot
+/// per hardware thread, rank-bounded admission).
+inline sweep::SweepOutcome run_spec(const sweep::SweepSpec& spec) {
+  sweep::SweepEngine engine;
+  return engine.run(spec.expand());
+}
+
+/// Table cell: the normalized time of the row matching `where`, or "n/a"
+/// when the point is missing/failed (failures never sink the table).
+inline std::string cell(const sweep::SweepOutcome& outcome,
+                        const std::map<std::string, std::string>& where,
+                        int prec = 2) {
+  const sweep::SweepRow* r = sweep::find_row(outcome.rows, where);
+  if (r == nullptr || !r->ok) return "n/a";
+  return exp::Report::num(r->normalized, prec);
+}
+
+inline int exit_code(const sweep::SweepOutcome& outcome) {
+  return outcome.failed == 0 ? 0 : 1;
+}
+
+}  // namespace unimem::bench

@@ -26,16 +26,25 @@ ctest --test-dir build -L e2e --output-on-failure -j "$JOBS"
 echo "== bench smoke =="
 ctest --test-dir build -L bench-smoke --output-on-failure -j "$JOBS"
 
+echo "== sweep smoke =="
+# The unimem_sweep CLI end to end at smoke scale (tiny spec, parallel
+# engine, JSONL/CSV/summary outputs).
+ctest --test-dir build -L sweep-smoke --output-on-failure -j "$JOBS"
+
 echo "== asan+ubsan configure + build + tier-1 =="
 cmake -B build-asan -S . -DUNIMEM_SANITIZE=address,undefined \
       -DCMAKE_BUILD_TYPE=Debug
 cmake --build build-asan -j "$JOBS"
 ctest --test-dir build-asan -L tier1 --output-on-failure -j "$JOBS"
 
-echo "== tsan configure + build + tier-1 =="
+echo "== tsan configure + build + tier-1 + sweep smoke =="
 cmake -B build-tsan -S . -DUNIMEM_SANITIZE=thread -DCMAKE_BUILD_TYPE=Debug
 cmake --build build-tsan -j "$JOBS"
 TSAN_OPTIONS="${TSAN_OPTIONS:-halt_on_error=1}" \
   ctest --test-dir build-tsan -L tier1 --output-on-failure -j "$JOBS"
+# Race the sweep worker pool (concurrent Worlds + per-job copy helpers)
+# under TSan, not just the single-World suites.
+TSAN_OPTIONS="${TSAN_OPTIONS:-halt_on_error=1}" \
+  ctest --test-dir build-tsan -L sweep-smoke --output-on-failure -j "$JOBS"
 
 echo "CI OK"

@@ -1,95 +1,157 @@
 #include "core/migration.h"
 
 #include <algorithm>
+#include <cstring>
 
 namespace unimem::rt {
 
 MigrationEngine::MigrationEngine(Registry* registry)
-    : registry_(registry), helper_([this] { worker(); }) {}
+    : registry_(registry), helper_([this] { copy_worker(); }) {}
 
 MigrationEngine::~MigrationEngine() {
   {
-    std::lock_guard<std::mutex> lk(mu_);
+    std::lock_guard<std::mutex> lk(copy_mu_);
     stop_ = true;
   }
-  cv_.notify_all();
+  copy_cv_.notify_all();
   helper_.join();
 }
 
 void MigrationEngine::enqueue(UnitRef unit, mem::Tier to, double enqueue_vt) {
-  {
-    std::lock_guard<std::mutex> lk(mu_);
-    queue_.push_back(Request{unit, to, enqueue_vt});
-    ++pending_[unit];
-  }
-  cv_.notify_all();
+  enqueue_batch({Item{unit, to, enqueue_vt}});
 }
 
-void MigrationEngine::worker() {
-  std::unique_lock<std::mutex> lk(mu_);
+void MigrationEngine::enqueue_batch(const std::vector<Item>& items) {
+  std::deque<Request> ready;
+  for (const Item& it : items)
+    ready.push_back(Request{it.unit, it.to, it.enqueue_vt, 2});
+  process(std::move(ready));
+}
+
+void MigrationEngine::process(std::deque<Request> ready) {
+  // Earlier deferred requests rejoin behind the new batch: the batch's
+  // evictions run first, exactly the ordering the wrap case needs.
+  for (Request& d : deferred_) ready.push_back(d);
+  deferred_.clear();
+
+  bool progress = false;
   for (;;) {
-    cv_.wait(lk, [&] { return stop_ || !queue_.empty(); });
-    if (queue_.empty()) {
-      if (stop_) return;
-      continue;
+    if (ready.empty()) {
+      // Retry wave: anything deferred in this call gets another look as
+      // long as the previous wave moved at least one unit (and thereby
+      // freed space somewhere).
+      if (!progress || deferred_.empty()) break;
+      progress = false;
+      for (Request& d : deferred_) ready.push_back(d);
+      deferred_.clear();
     }
-    Request req = queue_.front();
-    queue_.pop_front();
+    Request req = ready.front();
+    ready.pop_front();
 
     const mem::Tier from = registry_->unit_tier(req.unit);
     double done_vt = std::max(req.enqueue_vt, last_completion_vt_);
-    bool moved = false;
     if (from != req.to) {
-      const std::size_t bytes = registry_->unit_bytes(req.unit);
-      // Perform the real copy without holding our lock (the registry has
-      // its own lock; wait_for callers block on pending_, not the copy).
-      lk.unlock();
-      moved = registry_->migrate(req.unit, req.to);
-      lk.lock();
-      if (moved) {
-        done_vt += registry_->hms().copy_seconds(bytes, from, req.to);
+      // Zombie source blocks in the destination tier must land before we
+      // allocate there, both so the space is actually reclaimable and so
+      // the first-fit offset (an address the exact cache model can feel)
+      // never depends on helper-thread timing.
+      quiesce(req.to);
+      auto copy = registry_->migrate_start(req.unit, req.to);
+      if (copy.has_value()) {
+        const double copy_s =
+            registry_->hms().copy_seconds(copy->bytes, from, req.to);
+        done_vt += copy_s;
         ++stats_.migrations;
-        stats_.bytes_moved += bytes;
-        stats_.copy_time_s +=
-            registry_->hms().copy_seconds(bytes, from, req.to);
-      } else if (req.retries_left > 0 && !queue_.empty()) {
-        // Destination full: later queue entries may free the space (an
-        // eviction ordered after us); try again behind them.
+        stats_.bytes_moved += copy->bytes;
+        stats_.copy_time_s += copy_s;
+        progress = true;
+        submit_copy(*copy);
+      } else if (req.retries_left > 0) {
+        // Destination full: a later request may free the space (an
+        // eviction ordered after us); try again behind it.
         --req.retries_left;
-        queue_.push_back(req);
-        continue;  // pending_ count unchanged until finally resolved
+        deferred_.push_back(req);
+        continue;  // not decided yet: no completion recorded
       } else {
         ++stats_.failed;
       }
     }
     last_completion_vt_ = std::max(last_completion_vt_, done_vt);
     completion_vt_[req.unit] = done_vt;
-    if (--pending_[req.unit] == 0) pending_.erase(req.unit);
-    cv_.notify_all();
   }
 }
 
+void MigrationEngine::submit_copy(const Registry::PendingCopy& copy) {
+  {
+    std::lock_guard<std::mutex> lk(copy_mu_);
+    copies_.push_back(copy);
+    ++copy_pending_[copy.unit];
+    ++pending_src_in_tier_[static_cast<int>(copy.from)];
+  }
+  copy_cv_.notify_all();
+}
+
+void MigrationEngine::copy_worker() {
+  std::unique_lock<std::mutex> lk(copy_mu_);
+  for (;;) {
+    copy_cv_.wait(lk, [&] { return stop_ || !copies_.empty(); });
+    if (copies_.empty()) {
+      if (stop_) return;
+      continue;
+    }
+    Registry::PendingCopy c = copies_.front();
+    copies_.pop_front();
+    lk.unlock();
+    std::memcpy(c.dst, c.src, c.bytes);
+    registry_->finish_migration(c);
+    lk.lock();
+    if (--copy_pending_[c.unit] == 0) copy_pending_.erase(c.unit);
+    --pending_src_in_tier_[static_cast<int>(c.from)];
+    copy_cv_.notify_all();
+  }
+}
+
+void MigrationEngine::wait_copies_drained() {
+  std::unique_lock<std::mutex> lk(copy_mu_);
+  copy_cv_.wait(lk, [&] { return copies_.empty() && copy_pending_.empty(); });
+}
+
+void MigrationEngine::quiesce(mem::Tier tier) {
+  std::unique_lock<std::mutex> lk(copy_mu_);
+  copy_cv_.wait(
+      lk, [&] { return pending_src_in_tier_[static_cast<int>(tier)] == 0; });
+}
+
+void MigrationEngine::quiesce_all() { wait_copies_drained(); }
+
 double MigrationEngine::wait_for(UnitRef unit) {
-  std::unique_lock<std::mutex> lk(mu_);
-  cv_.wait(lk, [&] { return pending_.find(unit) == pending_.end(); });
+  {
+    std::unique_lock<std::mutex> lk(copy_mu_);
+    copy_cv_.wait(lk,
+                  [&] { return copy_pending_.find(unit) == copy_pending_.end(); });
+  }
   auto it = completion_vt_.find(unit);
   return it == completion_vt_.end() ? 0.0 : it->second;
 }
 
 double MigrationEngine::drain() {
-  std::unique_lock<std::mutex> lk(mu_);
-  cv_.wait(lk, [&] { return queue_.empty() && pending_.empty(); });
+  // No further batches are coming: still-deferred requests resolve
+  // terminally (and deterministically) as failed moves.
+  for (const Request& req : deferred_) {
+    ++stats_.failed;
+    const double done_vt = std::max(req.enqueue_vt, last_completion_vt_);
+    last_completion_vt_ = std::max(last_completion_vt_, done_vt);
+    completion_vt_[req.unit] = done_vt;
+  }
+  deferred_.clear();
+  wait_copies_drained();
   return last_completion_vt_;
 }
 
 void MigrationEngine::add_exposed_wait(double seconds) {
-  std::lock_guard<std::mutex> lk(mu_);
   stats_.exposed_wait_s += seconds;
 }
 
-MigrationStats MigrationEngine::stats() const {
-  std::lock_guard<std::mutex> lk(mu_);
-  return stats_;
-}
+MigrationStats MigrationEngine::stats() const { return stats_; }
 
 }  // namespace unimem::rt

@@ -9,12 +9,24 @@
 // the queue status to determine if all proactive data movement for the
 // current phase is done."
 //
-// The engine runs a real helper std::thread that performs the real memcpy
-// between tier arenas (the registry repoints the handle).  Virtual timing:
-// a request enqueued at virtual time t completes at
+// Determinism contract: every *decision* — does the move succeed, which
+// tier a unit is in, the virtual completion time, the stats — is made
+// synchronously on the enqueuing (rank) thread, in enqueue order, so the
+// modeled outcome is a pure function of virtual-time events and never of
+// host scheduling.  The helper std::thread performs only the physical
+// memcpy between tier arenas and the source-block release; anything that
+// touches payload bytes first fences on wait_for() (compute(), the PMPI
+// pre-op hook, DataObject::chunk_span), which blocks until the copy is
+// done.  Virtual timing: a request enqueued at virtual time t completes at
 //     max(t, previous request completion) + size / copy_bw,
 // and a phase that needs the unit earlier than that waits for the
 // remainder — the exposed (non-overlapped) migration cost.
+//
+// A fill can be submitted before the eviction that frees its space (plan
+// wrap across the iteration boundary); a failed move is retried — a
+// bounded number of times — after any later request in the same or a
+// subsequent batch makes progress, so the FIFO self-corrects without
+// consulting wall-clock queue state.
 #pragma once
 
 #include <condition_variable>
@@ -23,6 +35,7 @@
 #include <map>
 #include <mutex>
 #include <thread>
+#include <vector>
 
 #include "core/object.h"
 #include "core/registry.h"
@@ -49,18 +62,44 @@ class MigrationEngine {
   MigrationEngine(const MigrationEngine&) = delete;
   MigrationEngine& operator=(const MigrationEngine&) = delete;
 
-  /// Put a movement request on the FIFO queue at virtual time `enqueue_vt`.
+  struct Item {
+    UnitRef unit;
+    mem::Tier to;
+    double enqueue_vt;
+  };
+
+  /// Submit one movement request at virtual time `enqueue_vt`.  The
+  /// decision (and the completion-time math) happens before this returns;
+  /// only the payload copy is left to the helper thread.
   void enqueue(UnitRef unit, mem::Tier to, double enqueue_vt);
 
-  /// Block the calling thread until every queued request for `unit` has
-  /// been processed; returns the virtual completion time of the last one
-  /// (0.0 when none was pending).  The caller charges
+  /// Submit a phase's requests as one FIFO batch: a move that fails
+  /// because its space is freed by a *later* entry of the batch is
+  /// retried within the batch (and once more in later batches).
+  void enqueue_batch(const std::vector<Item>& items);
+
+  /// Block the calling thread until every physical copy for `unit` is
+  /// done; returns the virtual completion time of the last decided
+  /// request for it (0.0 when none was decided).  The caller charges
   /// max(0, result - now) to its clock — the exposed cost.
   double wait_for(UnitRef unit);
 
-  /// Block until the queue is fully drained; returns the virtual
+  /// Resolve any still-deferred requests (terminally, as failed), block
+  /// until the copy queue is fully drained, and return the virtual
   /// completion time of the last processed request.
   double drain();
+
+  /// Block until no pending physical copy has its SOURCE in `tier`.
+  /// Arena free-lists are first-fit: a zombie source block landing at a
+  /// host-scheduling-dependent point between two allocations in the same
+  /// tier would make the chosen offsets (and therefore the addresses an
+  /// address-sensitive cache model sees) nondeterministic.  Every
+  /// decision path that allocates in a tier quiesces it first, so all
+  /// arena mutations happen in decision order.
+  void quiesce(mem::Tier tier);
+
+  /// Block until every pending physical copy is done (both tiers).
+  void quiesce_all();
 
   /// Record exposed waiting time (kept here so Table 4's %overlap is
   /// computed in one place).
@@ -73,22 +112,33 @@ class MigrationEngine {
     UnitRef unit;
     mem::Tier to;
     double enqueue_vt;
-    /// A fill can reach the queue head before the eviction that frees its
-    /// space (triggers wrap across the iteration boundary); re-queue it a
-    /// bounded number of times so the FIFO self-corrects.
     int retries_left = 2;
   };
 
-  void worker();
+  /// Decide a batch (plus any earlier deferred requests) in FIFO order on
+  /// the calling thread.  Runs retry waves until no wave makes progress.
+  void process(std::deque<Request> ready);
+  void submit_copy(const Registry::PendingCopy& copy);
+  /// Block until the helper has no outstanding physical copies (used to
+  /// reclaim source blocks when a destination arena looks full).
+  void wait_copies_drained();
+  void copy_worker();
 
   Registry* registry_;
-  mutable std::mutex mu_;
-  std::condition_variable cv_;
-  std::deque<Request> queue_;
-  std::map<UnitRef, int> pending_;          ///< outstanding requests per unit
-  std::map<UnitRef, double> completion_vt_; ///< last completion per unit
+
+  // Decision state: owned by the enqueuing (rank) thread; never touched
+  // by the helper.
+  std::deque<Request> deferred_;
+  std::map<UnitRef, double> completion_vt_;
   double last_completion_vt_ = 0;
   MigrationStats stats_;
+
+  // Copy state: shared with the helper thread, guarded by copy_mu_.
+  mutable std::mutex copy_mu_;
+  std::condition_variable copy_cv_;
+  std::deque<Registry::PendingCopy> copies_;
+  std::map<UnitRef, int> copy_pending_;  ///< outstanding copies per unit
+  int pending_src_in_tier_[2] = {0, 0};  ///< outstanding zombie frees per tier
   bool stop_ = false;
   std::thread helper_;
 };

@@ -107,27 +107,55 @@ void Registry::unmap_unit(const Chunk& c) {
 }
 
 bool Registry::migrate(UnitRef unit, mem::Tier to) {
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    if (objects_.at(unit.object)->chunk(unit.chunk).current_tier() == to)
+      return true;
+  }
+  // The synchronous form is the split form with the copy done inline.
+  std::optional<PendingCopy> pc = migrate_start(unit, to);
+  if (!pc.has_value()) return false;
+  std::memcpy(pc->dst, pc->src, pc->bytes);
+  finish_migration(*pc);
+  return true;
+}
+
+std::optional<Registry::PendingCopy> Registry::migrate_start(UnitRef unit,
+                                                             mem::Tier to) {
   std::lock_guard<std::mutex> lk(mu_);
   auto& obj = objects_.at(unit.object);
   Chunk& c = obj->chunk(unit.chunk);
-  if (c.current_tier() == to) return true;
+  const mem::Tier from = c.current_tier();
 
   void* dst = allocate_in(to, c.bytes);
-  if (dst == nullptr) return false;
+  if (dst == nullptr) return std::nullopt;
 
-  void* src = c.data();
-  mem::Tier from = c.current_tier();
-  std::memcpy(dst, src, c.bytes);
+  PendingCopy pc;
+  pc.unit = unit;
+  pc.src = c.data();
+  pc.dst = dst;
+  pc.bytes = c.bytes;
+  pc.from = from;
+
   unmap_unit(c);
   c.ptr.store(dst, std::memory_order_release);
   c.tier.store(static_cast<int>(to), std::memory_order_release);
   map_unit(c, unit);
-  release_in(from, src, c.bytes);
+  // DRAM accounting follows the decision, not the copy: the allowance is
+  // a placement budget, and placement just changed.
+  if (from == mem::Tier::kDram && arbiter_ != nullptr)
+    arbiter_->release(c.bytes);
 
-  // Repoint programmer aliases (whole-object aliases track chunk 0).
   if (unit.chunk == 0)
     for (void** a : obj->aliases_) *a = dst;
-  return true;
+  return pc;
+}
+
+void Registry::finish_migration(const PendingCopy& c) {
+  // Arena-only release (the arbiter part happened in migrate_start);
+  // arenas carry their own locks, so the helper thread never contends
+  // with registry users here.
+  hms_->deallocate(c.from, c.src);
 }
 
 std::optional<UnitRef> Registry::attribute(std::uint64_t addr) const {

@@ -49,6 +49,28 @@ class Registry {
   /// call from the helper thread concurrently with profiler lookups.
   bool migrate(UnitRef unit, mem::Tier to);
 
+  /// Split migration, decision half (see MigrationEngine): allocate in
+  /// `to`, repoint the chunk/aliases/address map, and move the DRAM
+  /// *accounting* (arbiter grant) — all synchronously, so tier state and
+  /// grant decisions are a pure function of the caller's (virtual) order.
+  /// The payload still lives at `src`; the caller must memcpy dst <- src
+  /// and then call finish_migration, which frees the source arena block.
+  /// Returns nullopt (no state change) when the destination cannot hold
+  /// the unit.  Precondition: the unit is not already in `to`.
+  struct PendingCopy {
+    UnitRef unit;
+    void* src = nullptr;
+    void* dst = nullptr;
+    std::size_t bytes = 0;
+    mem::Tier from = mem::Tier::kNvm;
+  };
+  std::optional<PendingCopy> migrate_start(UnitRef unit, mem::Tier to);
+
+  /// Physical-completion half: release the source arena block.  (The
+  /// arbiter accounting already moved in migrate_start.)  Takes no
+  /// registry lock — safe from the copy helper thread.
+  void finish_migration(const PendingCopy& c);
+
   /// Attribute a sampled miss address to a unit, if it belongs to one.
   std::optional<UnitRef> attribute(std::uint64_t addr) const;
 

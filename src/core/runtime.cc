@@ -69,6 +69,9 @@ DataObject* Runtime::malloc_object(const std::string& name, std::size_t bytes,
                               ? opts_.chunk_bytes
                               : 0)
                        : chunk_bytes_for(traits.chunkable, bytes);
+  // Allocation mutates the NVM arena: zombie blocks of in-flight fills
+  // must land first so the chosen offsets stay in decision order.
+  migrator_->quiesce(mem::Tier::kNvm);
   DataObject* obj = registry_->create(name, bytes, traits, mem::Tier::kNvm, cb);
   // Raw app accesses (checksum taps, fill patterns) go through
   // chunk_span(); fence them against the migration helper so the app
@@ -81,7 +84,14 @@ DataObject* Runtime::malloc_object(const std::string& name, std::size_t bytes,
 }
 
 void Runtime::free_object(DataObject* obj) {
-  if (obj != nullptr) registry_->destroy(obj->id());
+  if (obj == nullptr) return;
+  // The blocks return to the arenas: every physical copy still in flight
+  // must land first — copies of this object for payload safety, and any
+  // zombie source block so the free-list mutations stay in decision
+  // order.  No virtual-time charge: frees sit outside the declared
+  // phases, like the raw access taps.
+  migrator_->quiesce_all();
+  registry_->destroy(obj->id());
 }
 
 void Runtime::add_alias(DataObject* obj, void** alias) {
@@ -223,10 +233,15 @@ void Runtime::close_phase(bool is_comm, double comm_time) {
 void Runtime::enqueue_phase_migrations(std::size_t phase_idx) {
   if (plan_.kind == Plan::Kind::kNone) return;
   if (phase_idx >= plan_.at_phase.size()) return;
+  // One FIFO batch per trigger phase: a fill whose space is freed by a
+  // later eviction of the same batch self-corrects inside the batch.
+  std::vector<MigrationEngine::Item> batch;
+  batch.reserve(plan_.at_phase[phase_idx].size());
   for (const PlannedMigration& m : plan_.at_phase[phase_idx]) {
     charge_overhead(opts_.overhead_per_phase_s);
-    migrator_->enqueue(m.unit, m.to, clock().now());
+    batch.push_back(MigrationEngine::Item{m.unit, m.to, clock().now()});
   }
+  if (!batch.empty()) migrator_->enqueue_batch(batch);
 }
 
 void Runtime::phase_boundary() {

@@ -1,0 +1,76 @@
+#include "sweep/baseline_cache.h"
+
+#include <cstdio>
+
+namespace unimem::sweep {
+
+BaselineService::BaselineService(Runner runner) : runner_(std::move(runner)) {
+  if (!runner_) runner_ = [](const exp::RunConfig& c) { return exp::run_once(c); };
+}
+
+std::string BaselineService::key(const exp::RunConfig& cfg) {
+  // Included: workload identity and size, the rank/node topology, the
+  // network model, and the execution-engine knobs StaticContext consumes
+  // (timing, cache model).  Excluded on purpose: NVM bw/lat ratios and
+  // dram_capacity (the DRAM-only machine's tiers all run at DRAM speed
+  // and capacity only bounds allocation, never timing), the Unimem
+  // technique switches, and manual placements (DRAM-only ignores both).
+  char buf[256];
+  std::snprintf(buf, sizeof buf,
+                "%s|%c|i%d|r%d|rpn%d|a%.9g|b%.9g|f%.9g|fl%.9g|mlp%d|s%llu|"
+                "c%zu/%d/%zu|x%d",
+                cfg.workload.c_str(), cfg.wcfg.cls, cfg.wcfg.iterations,
+                cfg.wcfg.nranks, cfg.ranks_per_node, cfg.net.alpha_s,
+                cfg.net.beta_bps, cfg.unimem.timing.cpu_freq_hz,
+                cfg.unimem.timing.flops_per_sec, cfg.unimem.timing.default_mlp,
+                static_cast<unsigned long long>(
+                    cfg.unimem.timing.sample_interval_cycles),
+                cfg.unimem.cache.size_bytes, cfg.unimem.cache.ways,
+                cfg.unimem.cache.line_bytes, cfg.unimem.use_exact_cache ? 1 : 0);
+  return buf;
+}
+
+exp::RunResult BaselineService::dram_baseline(const exp::RunConfig& cfg) {
+  const std::string k = key(cfg);
+  std::shared_future<exp::RunResult> fut;
+  bool mine = false;
+  std::promise<exp::RunResult> prom;
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    ++requests_;
+    auto it = cache_.find(k);
+    if (it == cache_.end()) {
+      fut = prom.get_future().share();
+      cache_.emplace(k, fut);
+      ++computed_;
+      mine = true;
+    } else {
+      fut = it->second;
+    }
+  }
+  if (mine) {
+    exp::RunConfig dram = cfg;
+    dram.policy = exp::Policy::kDramOnly;
+    try {
+      prom.set_value(runner_(dram));
+    } catch (...) {
+      prom.set_exception(std::current_exception());
+    }
+  }
+  // Rethrows the computing thread's exception for every waiter, so a
+  // failing baseline fails each dependent point (isolated per point by
+  // the engine), not the whole batch.
+  return fut.get();
+}
+
+std::size_t BaselineService::computed() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return computed_;
+}
+
+std::size_t BaselineService::requests() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return requests_;
+}
+
+}  // namespace unimem::sweep

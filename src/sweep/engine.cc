@@ -1,0 +1,122 @@
+#include "sweep/engine.h"
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <exception>
+#include <mutex>
+#include <thread>
+
+namespace unimem::sweep {
+
+SweepEngine::SweepEngine(EngineOptions opts, BaselineService* baselines)
+    : opts_(opts), baselines_(baselines != nullptr ? baselines : &owned_) {}
+
+SweepOutcome SweepEngine::run(const std::vector<SweepPoint>& points) {
+  const auto t0 = std::chrono::steady_clock::now();
+
+  int jobs = opts_.jobs;
+  if (jobs <= 0) {
+    jobs = static_cast<int>(std::thread::hardware_concurrency());
+    if (jobs <= 0) jobs = 1;
+  }
+  jobs = static_cast<int>(
+      std::min<std::size_t>(static_cast<std::size_t>(jobs), points.size()));
+  jobs = std::max(jobs, 1);
+  const int rank_budget =
+      opts_.max_inflight_ranks > 0 ? opts_.max_inflight_ranks : 4 * jobs;
+
+  SweepOutcome out;
+  out.rows.resize(points.size());
+  out.jobs_used = jobs;
+
+  const std::size_t base_requests = baselines_->requests();
+  const std::size_t base_computed = baselines_->computed();
+
+  std::atomic<std::size_t> next{0};
+  std::atomic<std::size_t> point_worlds{0};
+  std::mutex admit_mu;
+  std::condition_variable admit_cv;
+  int active_ranks = 0;
+  int active_jobs = 0;
+  std::mutex result_mu;
+
+  auto worker = [&] {
+    for (;;) {
+      const std::size_t i = next.fetch_add(1);
+      if (i >= points.size()) return;
+      const SweepPoint& p = points[i];
+      const int need = std::max(1, p.cfg.wcfg.nranks);
+
+      {
+        // Admit by simulated-rank load; a job wider than the whole budget
+        // may only run alone (active_jobs == 0), never starves.
+        std::unique_lock<std::mutex> lk(admit_mu);
+        admit_cv.wait(lk, [&] {
+          return active_ranks + need <= rank_budget || active_jobs == 0;
+        });
+        active_ranks += need;
+        ++active_jobs;
+      }
+
+      SweepRow row;
+      row.index = p.index;
+      row.label = p.label;
+      row.axis = p.axis;
+      try {
+        if (p.normalize) {
+          const exp::RunResult base = baselines_->dram_baseline(p.cfg);
+          row.baseline_time_s = base.time_s;
+          // The DRAM-only point IS its own baseline: reuse the memoized
+          // run instead of executing the identical World again.
+          if (p.cfg.policy == exp::Policy::kDramOnly) {
+            row.result = base;
+          } else {
+            row.result = exp::run_once(p.cfg);
+            point_worlds.fetch_add(1);
+          }
+          row.normalized =
+              base.time_s > 0 ? row.result.time_s / base.time_s : 0.0;
+        } else {
+          row.result = exp::run_once(p.cfg);
+          point_worlds.fetch_add(1);
+        }
+        row.ok = true;
+      } catch (const std::exception& e) {
+        row.error = e.what();
+      } catch (...) {
+        row.error = "unknown error";
+      }
+
+      {
+        std::lock_guard<std::mutex> lk(result_mu);
+        if (!row.ok) ++out.failed;
+        out.rows[i] = row;
+        if (opts_.on_result) opts_.on_result(out.rows[i]);
+      }
+
+      {
+        std::lock_guard<std::mutex> lk(admit_mu);
+        active_ranks -= need;
+        --active_jobs;
+      }
+      admit_cv.notify_all();
+    }
+  };
+
+  std::vector<std::thread> pool;
+  pool.reserve(static_cast<std::size_t>(jobs));
+  for (int j = 0; j < jobs; ++j) pool.emplace_back(worker);
+  for (auto& t : pool) t.join();
+
+  out.baseline_requests = baselines_->requests() - base_requests;
+  out.baseline_computed = baselines_->computed() - base_computed;
+  out.worlds_executed = point_worlds.load() + out.baseline_computed;
+  out.wall_s = std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                             t0)
+                   .count();
+  return out;
+}
+
+}  // namespace unimem::sweep

@@ -1,0 +1,158 @@
+#include "sweep/result_store.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace unimem::sweep {
+
+using exp::json_escape;
+
+namespace {
+
+std::string num17(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.17g", v);
+  return buf;
+}
+
+}  // namespace
+
+SweepResultStore::~SweepResultStore() {
+  try {
+    finish();
+  } catch (...) {
+    // Destructors must not throw; an explicit finish() call is the way
+    // to observe CSV write failures.
+  }
+}
+
+void SweepResultStore::stream_jsonl(const std::string& path) {
+  jsonl_ = std::fopen(path.c_str(), "w");
+  if (jsonl_ == nullptr)
+    throw std::runtime_error("SweepResultStore: cannot open " + path);
+}
+
+std::string SweepResultStore::jsonl_line(const SweepRow& row) {
+  std::string out;
+  auto str_field = [&](const char* key, const std::string& v) {
+    out += ",\"";
+    out += key;
+    out += "\":\"";
+    out += json_escape(v);
+    out += '"';
+  };
+  auto raw_field = [&](const char* key, const std::string& v) {
+    out += ",\"";
+    out += key;
+    out += "\":";
+    out += v;
+  };
+  out += "{\"index\":";
+  out += std::to_string(row.index);
+  str_field("label", row.label);
+  out += ",\"axis\":{";
+  bool first = true;
+  for (const auto& [k, v] : row.axis) {
+    if (!first) out += ',';
+    first = false;
+    out += '"';
+    out += json_escape(k);
+    out += "\":\"";
+    out += json_escape(v);
+    out += '"';
+  }
+  out += '}';
+  raw_field("ok", row.ok ? "true" : "false");
+  if (!row.ok) str_field("error", row.error);
+  raw_field("time_s", num17(row.result.time_s));
+  raw_field("checksum", num17(row.result.checksum));
+  if (row.baseline_time_s > 0) {
+    raw_field("baseline_time_s", num17(row.baseline_time_s));
+    raw_field("normalized", num17(row.normalized));
+  }
+  raw_field("migrations", std::to_string(row.result.total_migrations));
+  raw_field("bytes_moved", std::to_string(row.result.total_bytes_moved));
+  raw_field("overhead_pct", num17(row.result.mean_overhead_percent));
+  raw_field("overlap_pct", num17(row.result.mean_overlap_percent));
+  out += '}';
+  return out;
+}
+
+void SweepResultStore::add(const SweepRow& row) {
+  rows_.push_back(row);
+  if (jsonl_ != nullptr) {
+    const std::string line = jsonl_line(row);
+    std::fputs(line.c_str(), jsonl_);
+    std::fputc('\n', jsonl_);
+    std::fflush(jsonl_);
+  }
+}
+
+void SweepResultStore::finish() {
+  if (finished_) return;
+  finished_ = true;
+  std::sort(rows_.begin(), rows_.end(),
+            [](const SweepRow& a, const SweepRow& b) { return a.index < b.index; });
+  if (jsonl_ != nullptr) {
+    std::fclose(jsonl_);
+    jsonl_ = nullptr;
+  }
+  if (csv_path_.empty()) return;
+  std::FILE* f = std::fopen(csv_path_.c_str(), "w");
+  if (f == nullptr)
+    throw std::runtime_error("SweepResultStore: cannot open " + csv_path_);
+  std::fputs(
+      "index,label,ok,error,time_s,baseline_time_s,normalized,checksum,"
+      "migrations,bytes_moved,overhead_pct,overlap_pct\n",
+      f);
+  for (const SweepRow& r : rows_) {
+    std::string err = r.error;  // keep the row a single CSV record
+    std::replace(err.begin(), err.end(), ',', ';');
+    std::replace(err.begin(), err.end(), '\n', ' ');
+    std::fprintf(f, "%zu,%s,%d,%s,%s,%s,%s,%s,%llu,%llu,%s,%s\n", r.index,
+                 r.label.c_str(), r.ok ? 1 : 0, err.c_str(),
+                 num17(r.result.time_s).c_str(),
+                 num17(r.baseline_time_s).c_str(), num17(r.normalized).c_str(),
+                 num17(r.result.checksum).c_str(),
+                 static_cast<unsigned long long>(r.result.total_migrations),
+                 static_cast<unsigned long long>(r.result.total_bytes_moved),
+                 num17(r.result.mean_overhead_percent).c_str(),
+                 num17(r.result.mean_overlap_percent).c_str());
+  }
+  std::fclose(f);
+}
+
+exp::Report SweepResultStore::report(const std::string& title) const {
+  exp::Report rep(title);
+  rep.set_header({"point", "label", "time (ms)", "normalized", "migrations",
+                  "status"});
+  std::vector<SweepRow> sorted = rows_;
+  std::sort(sorted.begin(), sorted.end(),
+            [](const SweepRow& a, const SweepRow& b) { return a.index < b.index; });
+  for (const SweepRow& r : sorted) {
+    rep.add_row({std::to_string(r.index), r.label,
+                 exp::Report::num(r.result.time_s * 1e3, 3),
+                 r.baseline_time_s > 0 ? exp::Report::num(r.normalized, 3) : "-",
+                 std::to_string(r.result.total_migrations),
+                 r.ok ? "ok" : ("FAILED: " + r.error)});
+  }
+  return rep;
+}
+
+const SweepRow* find_row(const std::vector<SweepRow>& rows,
+                         const std::map<std::string, std::string>& where) {
+  for (const SweepRow& r : rows) {
+    bool match = true;
+    for (const auto& [k, v] : where) {
+      auto it = r.axis.find(k);
+      if (it == r.axis.end() || it->second != v) {
+        match = false;
+        break;
+      }
+    }
+    if (match) return &r;
+  }
+  return nullptr;
+}
+
+}  // namespace unimem::sweep

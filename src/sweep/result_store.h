@@ -1,0 +1,68 @@
+// SweepResultStore: collection + serialization of sweep rows.
+//
+// Designed to be handed to SweepEngine as the on_result callback: rows
+// stream to JSONL the moment they complete (each line carries the point
+// index, so consumers can re-order; the file is append-only and flushed
+// per row for liveness), while CSV — a columnar, whole-table format — is
+// written at finish() in deterministic point order.  The store can also
+// render itself as an exp::Report for the aligned-stdout-table path every
+// bench binary uses.
+#pragma once
+
+#include <cstddef>
+#include <cstdio>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "experiments/report.h"
+#include "sweep/engine.h"
+
+namespace unimem::sweep {
+
+class SweepResultStore {
+ public:
+  SweepResultStore() = default;
+  ~SweepResultStore();
+
+  SweepResultStore(const SweepResultStore&) = delete;
+  SweepResultStore& operator=(const SweepResultStore&) = delete;
+
+  /// Enable streaming JSONL; opens (truncates) the file immediately so a
+  /// watcher can tail it from point zero.  Throws std::runtime_error when
+  /// the file cannot be opened.
+  void stream_jsonl(const std::string& path);
+
+  /// Write the full table as CSV at finish().
+  void write_csv_at_finish(const std::string& path) { csv_path_ = path; }
+
+  /// Record one completed row (thread-safety is provided by the engine,
+  /// which serializes on_result calls).
+  void add(const SweepRow& row);
+
+  /// Sorts rows into point order, writes the CSV if configured, closes
+  /// the JSONL stream.  Idempotent.
+  void finish();
+
+  const std::vector<SweepRow>& rows() const { return rows_; }
+
+  /// Aligned stdout table of every row (index/label/time/normalized).
+  exp::Report report(const std::string& title) const;
+
+  /// One row as a JSONL line (no trailing newline); exposed for tests.
+  static std::string jsonl_line(const SweepRow& row);
+
+ private:
+  std::vector<SweepRow> rows_;
+  std::string csv_path_;
+  std::FILE* jsonl_ = nullptr;
+  bool finished_ = false;
+};
+
+/// First row whose axis contains every (key, value) in `where`; nullptr
+/// when none matches.  The pivot helper the ported figure harnesses use
+/// to map grid rows back into their table cells.
+const SweepRow* find_row(const std::vector<SweepRow>& rows,
+                         const std::map<std::string, std::string>& where);
+
+}  // namespace unimem::sweep

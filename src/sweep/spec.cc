@@ -1,0 +1,230 @@
+#include "sweep/spec.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+
+namespace unimem::sweep {
+
+namespace {
+
+std::string policy_slug(exp::Policy p) {
+  switch (p) {
+    case exp::Policy::kDramOnly: return "dram-only";
+    case exp::Policy::kNvmOnly: return "nvm-only";
+    case exp::Policy::kUnimem: return "unimem";
+    case exp::Policy::kXMen: return "xmen";
+    case exp::Policy::kManual: return "manual";
+  }
+  return "?";
+}
+
+std::string fmt(const char* pattern, double v) {
+  char buf[32];
+  std::snprintf(buf, sizeof buf, pattern, v);
+  return buf;
+}
+
+/// Which axes change the timing of a point under the given policy.  Axes
+/// a policy is insensitive to collapse to their first value, so a static
+/// policy is not re-run once per irrelevant grid value (and the DRAM-only
+/// machine, whose tiers all run at DRAM speed, ignores the NVM ratios).
+struct AxisSensitivity {
+  bool nvm_ratios;  ///< nvm_bw_ratio / nvm_lat_mult
+  bool dram;        ///< dram_capacity
+  bool techniques;  ///< Unimem switch sets
+};
+
+AxisSensitivity sensitivity(exp::Policy p) {
+  switch (p) {
+    case exp::Policy::kDramOnly: return {false, false, false};
+    case exp::Policy::kNvmOnly: return {true, false, false};
+    case exp::Policy::kUnimem: return {true, true, true};
+    case exp::Policy::kXMen:
+    case exp::Policy::kManual: return {true, true, false};
+  }
+  return {true, true, true};
+}
+
+template <typename T>
+std::vector<T> first_of(const std::vector<T>& v) {
+  return v.empty() ? std::vector<T>{} : std::vector<T>{v.front()};
+}
+
+}  // namespace
+
+std::vector<SweepPoint> SweepSpec::expand(const std::string& filter) const {
+  std::vector<SweepPoint> out;
+  std::size_t index = 0;
+
+  auto emit = [&](const SweepPoint& p) {
+    if (filter.empty() || p.label.find(filter) != std::string::npos)
+      out.push_back(p);
+  };
+
+  for (const std::string& w : workloads) {
+    for (exp::Policy policy : policies) {
+      const AxisSensitivity sens = sensitivity(policy);
+      const auto bws = sens.nvm_ratios ? nvm_bw_ratios : first_of(nvm_bw_ratios);
+      const auto lats =
+          sens.nvm_ratios ? nvm_lat_mults : first_of(nvm_lat_mults);
+      const auto drams = sens.dram ? dram_capacities : first_of(dram_capacities);
+      const auto techs = sens.techniques ? techniques : first_of(techniques);
+      for (double bw : bws) {
+        for (double lat : lats) {
+          for (std::size_t dram : drams) {
+            for (int rpn : ranks_per_node) {
+              for (const TechniqueSet& tech : techs) {
+                SweepPoint p;
+                p.index = index++;
+                p.cfg.workload = w;
+                p.cfg.wcfg.cls = cls;
+                p.cfg.wcfg.iterations = iterations;
+                p.cfg.wcfg.nranks = nranks;
+                p.cfg.nvm_bw_ratio = bw;
+                p.cfg.nvm_lat_mult = lat;
+                p.cfg.dram_capacity = dram;
+                p.cfg.ranks_per_node = rpn;
+                p.cfg.policy = policy;
+                p.cfg.net = net;
+                p.cfg.unimem = unimem;
+                p.cfg.unimem.enable_global_search = tech.global_search;
+                p.cfg.unimem.enable_local_search = tech.local_search;
+                p.cfg.unimem.enable_chunking = tech.chunking;
+                p.cfg.unimem.enable_initial_placement = tech.initial_placement;
+                p.normalize = normalize;
+
+                p.axis["workload"] = w;
+                p.axis["policy"] = policy_slug(policy);
+                if (nvm_bw_ratios.size() > 1)
+                  p.axis["bw"] = sens.nvm_ratios ? fmt("%.3g", bw) : "*";
+                if (nvm_lat_mults.size() > 1)
+                  p.axis["lat"] = sens.nvm_ratios ? fmt("%.3g", lat) : "*";
+                if (dram_capacities.size() > 1)
+                  p.axis["dram"] =
+                      sens.dram
+                          ? std::to_string(dram / kMiB) + "MiB"
+                          : "*";
+                if (ranks_per_node.size() > 1)
+                  p.axis["rpn"] = std::to_string(rpn);
+                if (techniques.size() > 1)
+                  p.axis["tech"] = sens.techniques ? tech.name : "*";
+
+                p.label = w + "/" + p.axis["policy"];
+                for (const char* key : {"bw", "lat", "dram", "rpn", "tech"}) {
+                  auto it = p.axis.find(key);
+                  if (it != p.axis.end() && it->second != "*")
+                    p.label += "/" + std::string(key) + it->second;
+                }
+                emit(p);
+              }
+            }
+          }
+        }
+      }
+    }
+  }
+
+  for (const ExplicitPoint& e : explicit_points) {
+    SweepPoint p;
+    p.index = index++;
+    p.label = e.label;
+    p.axis["workload"] = e.cfg.workload;
+    p.axis["policy"] = policy_slug(e.cfg.policy);
+    p.cfg = e.cfg;
+    p.normalize = e.normalize;
+    emit(p);
+  }
+  return out;
+}
+
+std::size_t SweepSpec::size() const { return expand().size(); }
+
+SweepSpec smoke_clamped(SweepSpec spec) {
+  spec.cls = 'S';
+  spec.iterations = std::min(spec.iterations, 3);
+  spec.nranks = std::min(spec.nranks, 2);
+  for (auto& e : spec.explicit_points) {
+    e.cfg.wcfg.cls = 'S';
+    e.cfg.wcfg.iterations = std::min(e.cfg.wcfg.iterations, 3);
+    e.cfg.wcfg.nranks = std::min(e.cfg.wcfg.nranks, 2);
+  }
+  return spec;
+}
+
+bool smoke_requested() {
+  return std::getenv("UNIMEM_BENCH_SMOKE") != nullptr;
+}
+
+namespace {
+
+/// The six NPB kernels in the paper's presentation order; `with_nek`
+/// appends Nek5000-eddy (Figs. 9-13 include it).
+std::vector<std::string> npb(bool with_nek) {
+  std::vector<std::string> w{"cg", "ft", "bt", "lu", "sp", "mg"};
+  if (with_nek) w.push_back("nek");
+  return w;
+}
+
+std::vector<TechniqueSet> cumulative_techniques() {
+  return {
+      {"(1)global", true, false, false, false},
+      {"(1)+(2)local", true, true, false, false},
+      {"+(3)chunking", true, true, true, false},
+      {"+(4)initial", true, true, true, true},
+  };
+}
+
+SweepSpec make_spec(const std::string& name) {
+  SweepSpec s;
+  s.name = name;
+  if (name == "fig2") {
+    s.title = "Fig. 2: NVM-only slowdown vs bandwidth";
+    s.workloads = npb(false);
+    s.policies = {exp::Policy::kNvmOnly};
+    s.nvm_bw_ratios = {0.5, 0.25, 0.125};
+  } else if (name == "fig3") {
+    s.title = "Fig. 3: NVM-only slowdown vs latency";
+    s.workloads = npb(false);
+    s.policies = {exp::Policy::kNvmOnly};
+    s.nvm_bw_ratios = {1.0};
+    s.nvm_lat_mults = {2.0, 4.0, 8.0};
+  } else if (name == "fig9") {
+    s.title = "Fig. 9: policies at NVM = 1/2 DRAM bandwidth";
+    s.workloads = npb(true);
+    s.policies = {exp::Policy::kNvmOnly, exp::Policy::kXMen,
+                  exp::Policy::kUnimem};
+  } else if (name == "fig10") {
+    s.title = "Fig. 10: policies at NVM = 4x DRAM latency";
+    s.workloads = npb(true);
+    s.policies = {exp::Policy::kNvmOnly, exp::Policy::kXMen,
+                  exp::Policy::kUnimem};
+    s.nvm_bw_ratios = {1.0};
+    s.nvm_lat_mults = {4.0};
+  } else if (name == "fig11") {
+    s.title = "Fig. 11: cumulative technique ablation at NVM = 1/2 bandwidth";
+    s.workloads = npb(true);
+    s.policies = {exp::Policy::kNvmOnly, exp::Policy::kUnimem};
+    s.techniques = cumulative_techniques();
+  } else if (name == "fig13") {
+    s.title = "Fig. 13: Unimem vs DRAM size at NVM = 1/2 bandwidth";
+    s.workloads = npb(true);
+    s.policies = {exp::Policy::kNvmOnly, exp::Policy::kUnimem};
+    s.dram_capacities = {4 * kMiB, 8 * kMiB, 16 * kMiB};
+  }
+  return s;
+}
+
+}  // namespace
+
+std::vector<std::string> spec_names() {
+  return {"fig2", "fig3", "fig9", "fig10", "fig11", "fig13"};
+}
+
+std::optional<SweepSpec> spec_by_name(const std::string& name) {
+  for (const std::string& n : spec_names())
+    if (n == name) return make_spec(name);
+  return std::nullopt;
+}
+
+}  // namespace unimem::sweep

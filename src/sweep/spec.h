@@ -1,0 +1,106 @@
+// Sweep specifications: a declarative grid over exp::RunConfig axes that
+// expands into a deterministic, stably-indexed list of executable points.
+//
+// A SweepSpec is the batch-service twin of the hand-rolled loops the
+// figure harnesses used to carry: it names the axes (workloads, policies,
+// NVM bandwidth/latency ratios, DRAM capacities, ranks-per-node, Unimem
+// technique sets) and the shared scalars (input class, iterations, rank
+// count, network), and expand() produces the cartesian product in
+// declaration order.  Every point carries a stable index, a human-readable
+// label, and its axis values by name so result consumers can pivot rows
+// into figure-shaped tables without re-deriving the expansion order.
+//
+// The named-spec registry (specs(), spec_by_name()) is shared between the
+// `unimem_sweep` CLI and the ported bench harnesses, so "the fig13 sweep"
+// means exactly one thing everywhere.
+#pragma once
+
+#include <cstddef>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "experiments/runner.h"
+
+namespace unimem::sweep {
+
+/// A named set of Unimem technique switches (Fig. 11's cumulative
+/// ablation axis).  Applied to RunConfig::unimem for kUnimem points only;
+/// static-placement policies ignore technique switches, so the axis does
+/// not multiply their points.
+struct TechniqueSet {
+  std::string name = "all";
+  bool global_search = true;
+  bool local_search = true;
+  bool chunking = true;
+  bool initial_placement = true;
+};
+
+/// One executable grid point.
+struct SweepPoint {
+  std::size_t index = 0;       ///< position in expansion order (stable)
+  std::string label;           ///< "cg/nvm-only/bw0.50/lat1.0/dram8MiB"
+  /// Axis values by name ("workload", "policy", "bw", "lat", "dram",
+  /// "rpn", "tech") — the pivot keys for table-shaped consumers.
+  std::map<std::string, std::string> axis;
+  exp::RunConfig cfg;
+  /// Divide time by the memoized DRAM-only baseline of the same
+  /// (workload, size, network) when reporting.
+  bool normalize = false;
+};
+
+struct SweepSpec {
+  std::string name;
+  std::string title;  ///< report/table title
+
+  // ---- axes (cartesian product, declaration order; empty = default) ----
+  std::vector<std::string> workloads{"cg"};
+  std::vector<exp::Policy> policies{exp::Policy::kUnimem};
+  std::vector<double> nvm_bw_ratios{0.5};
+  std::vector<double> nvm_lat_mults{1.0};
+  std::vector<std::size_t> dram_capacities{8 * kMiB};
+  std::vector<int> ranks_per_node{1};
+  std::vector<TechniqueSet> techniques{TechniqueSet{}};
+
+  // ---- shared scalars --------------------------------------------------
+  char cls = 'C';
+  int iterations = 10;
+  int nranks = 4;
+  mpi::NetworkParams net{};
+  rt::RuntimeOptions unimem{};  ///< base options; technique sets overlay
+  bool normalize = true;
+
+  /// Explicit points appended after the grid (label -> config), for
+  /// sweeps that are not cartesian (e.g. Fig. 4's manual placements).
+  struct ExplicitPoint {
+    std::string label;
+    exp::RunConfig cfg;
+    bool normalize = true;
+  };
+  std::vector<ExplicitPoint> explicit_points;
+
+  /// Expand to the deterministic point list.  `filter`, when non-empty,
+  /// keeps only points whose label contains it (indices stay those of the
+  /// unfiltered expansion, so a filtered run still reports stable ids).
+  std::vector<SweepPoint> expand(const std::string& filter = "") const;
+
+  /// Total point count of the unfiltered expansion.
+  std::size_t size() const;
+};
+
+/// Shrink a spec to smoke scale (class S, <=3 iterations, <=2 ranks) —
+/// the SweepSpec twin of bench::smoke().  Applied by the CLI and the
+/// ported harnesses when UNIMEM_BENCH_SMOKE is set in the environment.
+SweepSpec smoke_clamped(SweepSpec spec);
+
+/// True when UNIMEM_BENCH_SMOKE is set (any value, even empty).
+bool smoke_requested();
+
+/// Names of the built-in specs (paper figure sweeps).
+std::vector<std::string> spec_names();
+
+/// Look up a built-in spec; nullopt for unknown names.
+std::optional<SweepSpec> spec_by_name(const std::string& name);
+
+}  // namespace unimem::sweep

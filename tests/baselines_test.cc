@@ -108,7 +108,11 @@ TEST(XMen, RespectsBudgetExactly) {
     op.serialized_misses = op.misses;
     op.bytes = kMiB;
     op.misses_by_pattern[cache::Pattern::kSequential] = op.misses;
-    profs["o" + std::to_string(i)] = op;
+    // Append (not operator+) dodges GCC 12's -Wrestrict false positive
+    // at -O3, which broke Release builds.
+    std::string name("o");
+    name += std::to_string(i);
+    profs[name] = op;
   }
   auto placed = xmen_placement(profs, hms, 3 * kMiB);
   EXPECT_EQ(placed.size(), 3u);

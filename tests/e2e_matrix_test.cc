@@ -55,22 +55,29 @@ struct RankOutcome {
 };
 
 std::vector<RankOutcome> run_matrix_cell(const std::string& workload,
-                                         const Strategy& strategy) {
+                                         const Strategy& strategy,
+                                         int nranks = kRanks,
+                                         int ranks_per_node = 1) {
   wl::WorkloadConfig wcfg;
   wcfg.cls = 'S';
   wcfg.iterations = kIterations;
-  wcfg.nranks = kRanks;
+  wcfg.nranks = nranks;
 
-  // One node per rank: NVM holds the whole footprint with churn headroom;
-  // the DRAM allowance is far below the working set so the planner must
-  // choose and the migration engine must move data.
-  const std::size_t nvm_cap = 2 * wcfg.rank_bytes() + 32 * kMiB;
+  // Every `ranks_per_node` consecutive ranks share one simulated node —
+  // one HeteroMemory + one DramArbiter: NVM holds every sharing rank's
+  // footprint with churn headroom; the DRAM allowance is far below the
+  // working set so the planner must choose and the migration engine must
+  // move data (and, with sharing, the ranks must split the allowance).
+  const int nnodes = (nranks + ranks_per_node - 1) / ranks_per_node;
+  const std::size_t nvm_cap =
+      static_cast<std::size_t>(ranks_per_node) *
+      (2 * wcfg.rank_bytes() + 32 * kMiB);
   const std::size_t dram_arena = 2 * kDramAllowance + 4 * kMiB;
   struct Node {
     std::unique_ptr<mem::HeteroMemory> hms;
     std::unique_ptr<mem::DramArbiter> arbiter;
   };
-  std::vector<Node> nodes(kRanks);
+  std::vector<Node> nodes(static_cast<std::size_t>(nnodes));
   for (auto& n : nodes) {
     n.hms = std::make_unique<mem::HeteroMemory>(
         mem::HmsConfig{mem::TierConfig::dram_basis(dram_arena),
@@ -78,13 +85,13 @@ std::vector<RankOutcome> run_matrix_cell(const std::string& workload,
     n.arbiter = std::make_unique<mem::DramArbiter>(kDramAllowance);
   }
 
-  std::vector<RankOutcome> out(kRanks);
-  mpi::World world(kRanks, mpi::NetworkParams{}, /*ranks_per_node=*/1);
+  std::vector<RankOutcome> out(static_cast<std::size_t>(nranks));
+  mpi::World world(nranks, mpi::NetworkParams{}, ranks_per_node);
   world.run([&](mpi::Comm& comm) {
     const int r = comm.rank();
     Node& node = nodes[static_cast<std::size_t>(comm.node())];
     rt::RuntimeOptions opts;
-    opts.ranks_per_node = 1;
+    opts.ranks_per_node = ranks_per_node;
     opts.enable_local_search = strategy.local;
     opts.enable_global_search = strategy.global;
     rt::Runtime runtime(opts, node.hms.get(), node.arbiter.get(), &comm);
@@ -177,6 +184,55 @@ TEST_P(E2EMatrix, LoopCompletesRespectsDramAndNeverPlansASlowdown) {
         << ": checksum diverged from a previously run strategy";
   }
 }
+
+// ---- ranks_per_node > 1: multiple ranks sharing one simulated node --------
+//
+// The ROADMAP coverage gap: every matrix cell above runs one rank per
+// node.  Here 4 ranks run 2-per-node — two ranks share one HeteroMemory
+// and one DramArbiter — so the planner must pack against a per-rank share
+// of the node allowance and the arbiter arbitrates real contention.
+class E2EMultiRankNode : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(E2EMultiRankNode, SharedNodeSplitsAllowanceAndKeepsNumerics) {
+  const std::string workload = GetParam();
+  const Strategy& strategy = kStrategies[0];  // local+global
+  constexpr int kNr = 4;
+  std::vector<RankOutcome> shared =
+      run_matrix_cell(workload, strategy, kNr, /*ranks_per_node=*/2);
+  std::vector<RankOutcome> owned =
+      run_matrix_cell(workload, strategy, kNr, /*ranks_per_node=*/1);
+  ASSERT_EQ(shared.size(), static_cast<std::size_t>(kNr));
+  ASSERT_EQ(owned.size(), static_cast<std::size_t>(kNr));
+
+  for (int r = 0; r < kNr; ++r) {
+    // The loop ran on every rank and the node topology never changes the
+    // arithmetic: rank r's checksum is identical under both mappings.
+    EXPECT_EQ(shared[r].stats.iterations,
+              static_cast<std::uint64_t>(kIterations));
+    EXPECT_GT(shared[r].stats.phases_executed, 0u);
+    EXPECT_DOUBLE_EQ(shared[r].checksum, owned[r].checksum)
+        << workload << " rank " << r;
+
+    // Modeled respect of the per-rank share: with 2 ranks per node each
+    // rank plans against allowance/2.
+    for (std::size_t phase = 0; phase < shared[r].planned_phase_bytes.size();
+         ++phase)
+      EXPECT_LE(shared[r].planned_phase_bytes[phase], kDramAllowance / 2)
+          << workload << " rank " << r << " phase " << phase;
+    EXPECT_LE(shared[r].arbiter_granted, shared[r].arbiter_allowance);
+  }
+
+  // Enforced respect per node: the two sharing ranks' final DRAM
+  // residency fits the single node allowance they share.
+  for (int node = 0; node < kNr / 2; ++node) {
+    const std::size_t resident = shared[2 * node].dram_resident +
+                                 shared[2 * node + 1].dram_resident;
+    EXPECT_LE(resident, kDramAllowance) << workload << " node " << node;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(CgFt, E2EMultiRankNode,
+                         ::testing::Values("cg", "ft"));
 
 INSTANTIATE_TEST_SUITE_P(
     AllWorkloadsAllStrategies, E2EMatrix,

@@ -116,6 +116,54 @@ TEST_F(MigrationTest, RoundTripPreservesPayload) {
   EXPECT_EQ(eng_.stats().migrations, 3u);
 }
 
+TEST_F(MigrationTest, BatchFillBeforeEvictionSelfCorrects) {
+  // DRAM holds 8 MiB.  With "a" (6 MiB) resident, the batch lists the
+  // 4 MiB fill of "b" BEFORE the eviction of "a" — the wrap ordering.
+  // The fill must defer, the eviction must free the space, and the retry
+  // wave must land the fill: no failed move anywhere.
+  DataObject* a = reg_.create("a", 6 * kMiB, {}, mem::Tier::kNvm);
+  DataObject* b = reg_.create("b", 4 * kMiB, {}, mem::Tier::kNvm);
+  eng_.enqueue(UnitRef{a->id(), 0}, mem::Tier::kDram, 0.0);
+  eng_.enqueue_batch({
+      MigrationEngine::Item{UnitRef{b->id(), 0}, mem::Tier::kDram, 1.0},
+      MigrationEngine::Item{UnitRef{a->id(), 0}, mem::Tier::kNvm, 1.0},
+  });
+  eng_.drain();
+  EXPECT_EQ(a->chunk(0).current_tier(), mem::Tier::kNvm);
+  EXPECT_EQ(b->chunk(0).current_tier(), mem::Tier::kDram);
+  MigrationStats s = eng_.stats();
+  EXPECT_EQ(s.migrations, 3u);
+  EXPECT_EQ(s.failed, 0u);
+}
+
+TEST_F(MigrationTest, DeferredFillRetriesInALaterBatch) {
+  // The cross-iteration wrap: the fill's batch carries no eviction at
+  // all; the eviction arrives only in the NEXT batch.  The deferred fill
+  // must ride along behind it instead of failing terminally.
+  DataObject* a = reg_.create("a", 6 * kMiB, {}, mem::Tier::kNvm);
+  DataObject* b = reg_.create("b", 4 * kMiB, {}, mem::Tier::kNvm);
+  eng_.enqueue(UnitRef{a->id(), 0}, mem::Tier::kDram, 0.0);
+  eng_.enqueue(UnitRef{b->id(), 0}, mem::Tier::kDram, 1.0);  // defers
+  eng_.enqueue(UnitRef{a->id(), 0}, mem::Tier::kNvm, 2.0);   // frees, retries
+  eng_.drain();
+  EXPECT_EQ(b->chunk(0).current_tier(), mem::Tier::kDram);
+  EXPECT_EQ(eng_.stats().failed, 0u);
+  EXPECT_EQ(eng_.stats().migrations, 3u);
+}
+
+TEST_F(MigrationTest, DecisionsAreSynchronousWithEnqueue) {
+  // The determinism contract: tier state and completion time are decided
+  // by enqueue order alone.  Immediately after enqueue returns — no
+  // drain, no wait — the logical location has already changed and the
+  // payload is intact behind the physical-copy fence (wait_for).
+  DataObject* o = reg_.create("x", kMiB, {}, mem::Tier::kNvm);
+  o->as_span<double>()[7] = 3.5;
+  eng_.enqueue(UnitRef{o->id(), 0}, mem::Tier::kDram, 0.0);
+  EXPECT_EQ(o->chunk(0).current_tier(), mem::Tier::kDram);
+  eng_.wait_for(UnitRef{o->id(), 0});
+  EXPECT_EQ(o->as_span<double>()[7], 3.5);
+}
+
 TEST_F(MigrationTest, DrainReturnsLastCompletion) {
   DataObject* a = reg_.create("a", kMiB, {}, mem::Tier::kNvm);
   DataObject* b = reg_.create("b", 2 * kMiB, {}, mem::Tier::kNvm);

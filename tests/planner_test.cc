@@ -92,8 +92,13 @@ TEST_F(PlannerTest, GlobalSelectsHottestWithinBudget) {
 
 TEST_F(PlannerTest, BudgetNeverExceeded) {
   std::vector<DataObject*> objs;
-  for (int i = 0; i < 8; ++i)
-    objs.push_back(obj(("o" + std::to_string(i)).c_str(), kMiB));
+  for (int i = 0; i < 8; ++i) {
+    // Built with append (not operator+) to dodge GCC 12's -Wrestrict
+    // false positive at -O3, which broke Release builds.
+    std::string name("o");
+    name += std::to_string(i);
+    objs.push_back(obj(name.c_str(), kMiB));
+  }
   phase({{objs[0], 100000},
          {objs[1], 90000},
          {objs[2], 80000},

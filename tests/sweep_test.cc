@@ -1,0 +1,474 @@
+// Sweep subsystem tests: spec expansion (cartesian order, axis collapse,
+// filtering, smoke clamp), baseline memoization (key coverage,
+// single-flight under concurrency), engine semantics (deterministic
+// ordering, rank-bounded admission liveness, failure isolation), result
+// serialization (JSONL/CSV), and the determinism regression the ISSUE
+// demands: the same spec run with 1 and 8 jobs produces bitwise-identical
+// time_s/checksum per point.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <set>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "experiments/report.h"
+#include "sweep/baseline_cache.h"
+#include "sweep/engine.h"
+#include "sweep/result_store.h"
+#include "sweep/spec.h"
+
+namespace unimem::sweep {
+namespace {
+
+SweepSpec tiny_spec() {
+  SweepSpec s;
+  s.name = "tiny";
+  s.workloads = {"cg", "ft"};
+  s.policies = {exp::Policy::kNvmOnly, exp::Policy::kUnimem};
+  s.nvm_bw_ratios = {0.5};
+  s.cls = 'S';
+  s.iterations = 2;
+  s.nranks = 2;
+  s.dram_capacities = {2 * kMiB};
+  return s;
+}
+
+// ---- spec expansion -------------------------------------------------------
+
+TEST(SweepSpec, CartesianExpansionIsStableAndLabeled) {
+  SweepSpec s = *spec_by_name("fig13");
+  const auto points = s.expand();
+  // 7 workloads x (1 NVM-only with the DRAM axis collapsed + 3 Unimem
+  // DRAM capacities).
+  EXPECT_EQ(points.size(), 7u * 4u);
+  for (std::size_t i = 0; i < points.size(); ++i)
+    EXPECT_EQ(points[i].index, i);
+  std::set<std::string> labels;
+  for (const auto& p : points) labels.insert(p.label);
+  EXPECT_EQ(labels.size(), points.size()) << "labels must be unique";
+}
+
+TEST(SweepSpec, InsensitiveAxesCollapsePerPolicy) {
+  SweepSpec s = *spec_by_name("fig13");
+  const auto points = s.expand();
+  std::size_t nvm_points = 0;
+  for (const auto& p : points) {
+    if (p.axis.at("policy") == "nvm-only") {
+      ++nvm_points;
+      EXPECT_EQ(p.axis.at("dram"), "*");  // capacity-invariant timing
+    } else {
+      EXPECT_NE(p.axis.at("dram"), "*");
+    }
+  }
+  EXPECT_EQ(nvm_points, 7u);
+}
+
+TEST(SweepSpec, TechniqueAxisOnlyMultipliesUnimemPoints) {
+  SweepSpec s = *spec_by_name("fig11");
+  const auto points = s.expand();
+  EXPECT_EQ(points.size(), 7u * (1u + 4u));
+  for (const auto& p : points) {
+    if (p.axis.at("policy") == "unimem") {
+      EXPECT_NE(p.axis.at("tech"), "*");
+    } else {
+      EXPECT_EQ(p.axis.at("tech"), "*");
+    }
+  }
+}
+
+TEST(SweepSpec, FilterKeepsOriginalIndices) {
+  SweepSpec s = *spec_by_name("fig2");
+  const auto all = s.expand();
+  const auto filtered = s.expand("lu/");
+  ASSERT_FALSE(filtered.empty());
+  EXPECT_LT(filtered.size(), all.size());
+  for (const auto& p : filtered) {
+    EXPECT_NE(p.label.find("lu/"), std::string::npos);
+    EXPECT_EQ(all[p.index].label, p.label);  // index survives filtering
+  }
+}
+
+TEST(SweepSpec, SmokeClampShrinksTheProblem) {
+  SweepSpec s = *spec_by_name("fig11");
+  SweepSpec clamped = smoke_clamped(s);
+  EXPECT_EQ(clamped.cls, 'S');
+  EXPECT_LE(clamped.iterations, 3);
+  EXPECT_LE(clamped.nranks, 2);
+  EXPECT_EQ(clamped.size(), s.size()) << "smoke shrinks points, not the grid";
+}
+
+TEST(SweepSpec, EveryRegisteredSpecExpands) {
+  for (const std::string& name : spec_names()) {
+    auto s = spec_by_name(name);
+    ASSERT_TRUE(s.has_value()) << name;
+    EXPECT_GE(s->size(), 18u) << name;
+  }
+  EXPECT_FALSE(spec_by_name("no-such-spec").has_value());
+}
+
+// ---- baseline service -----------------------------------------------------
+
+TEST(BaselineService, KeyCoversTimingFieldsAndIgnoresNvmAxes) {
+  exp::RunConfig a;
+  a.workload = "cg";
+  const std::string base = BaselineService::key(a);
+
+  // Invariant axes: a DRAM-only run's time does not depend on these.
+  exp::RunConfig b = a;
+  b.nvm_bw_ratio = 0.125;
+  b.nvm_lat_mult = 8.0;
+  b.dram_capacity = 4 * kMiB;
+  b.policy = exp::Policy::kUnimem;
+  b.unimem.enable_chunking = false;
+  EXPECT_EQ(BaselineService::key(b), base);
+
+  // Sensitive fields: each must produce a distinct key.
+  auto differs = [&](auto&& mutate) {
+    exp::RunConfig c = a;
+    mutate(c);
+    return BaselineService::key(c) != base;
+  };
+  EXPECT_TRUE(differs([](exp::RunConfig& c) { c.workload = "ft"; }));
+  EXPECT_TRUE(differs([](exp::RunConfig& c) { c.wcfg.cls = 'A'; }));
+  EXPECT_TRUE(differs([](exp::RunConfig& c) { c.wcfg.iterations = 3; }));
+  EXPECT_TRUE(differs([](exp::RunConfig& c) { c.wcfg.nranks = 8; }));
+  EXPECT_TRUE(differs([](exp::RunConfig& c) { c.ranks_per_node = 2; }));
+  EXPECT_TRUE(differs([](exp::RunConfig& c) { c.net.alpha_s = 5e-6; }));
+  EXPECT_TRUE(differs([](exp::RunConfig& c) { c.net.beta_bps = 1e9; }));
+  EXPECT_TRUE(
+      differs([](exp::RunConfig& c) { c.unimem.timing.cpu_freq_hz = 3e9; }));
+  EXPECT_TRUE(
+      differs([](exp::RunConfig& c) { c.unimem.cache.size_bytes = 1 << 19; }));
+  EXPECT_TRUE(differs([](exp::RunConfig& c) { c.unimem.use_exact_cache = true; }));
+}
+
+TEST(BaselineService, SingleFlightUnderConcurrentRequests) {
+  std::atomic<int> runs{0};
+  BaselineService svc([&](const exp::RunConfig& cfg) {
+    runs.fetch_add(1);
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    exp::RunResult r;
+    r.time_s = 1.0 + cfg.nvm_bw_ratio;  // any deterministic value
+    return r;
+  });
+
+  exp::RunConfig cfg;
+  cfg.workload = "cg";
+  std::vector<std::thread> threads;
+  std::vector<double> seen(8, 0.0);
+  for (int i = 0; i < 8; ++i)
+    threads.emplace_back(
+        [&, i] { seen[i] = svc.dram_baseline(cfg).time_s; });
+  for (auto& t : threads) t.join();
+
+  EXPECT_EQ(runs.load(), 1) << "one computation serves all waiters";
+  EXPECT_EQ(svc.computed(), 1u);
+  EXPECT_EQ(svc.requests(), 8u);
+  for (double v : seen) EXPECT_EQ(v, seen[0]);
+
+  exp::RunConfig other = cfg;
+  other.workload = "ft";
+  svc.dram_baseline(other);
+  EXPECT_EQ(svc.computed(), 2u);
+}
+
+TEST(BaselineService, PropagatesFailuresToEveryWaiter) {
+  BaselineService svc([](const exp::RunConfig&) -> exp::RunResult {
+    throw std::runtime_error("baseline boom");
+  });
+  exp::RunConfig cfg;
+  cfg.workload = "cg";
+  EXPECT_THROW(svc.dram_baseline(cfg), std::runtime_error);
+  // The failure is cached; a second request rethrows without recomputing.
+  EXPECT_THROW(svc.dram_baseline(cfg), std::runtime_error);
+  EXPECT_EQ(svc.computed(), 1u);
+}
+
+// ---- engine ---------------------------------------------------------------
+
+TEST(SweepEngine, RunsABatchInPointOrderWithMemoizedBaselines) {
+  SweepSpec s = tiny_spec();
+  const auto points = s.expand();
+  ASSERT_EQ(points.size(), 4u);  // {cg,ft} x {nvm-only,unimem}
+
+  std::vector<std::size_t> completion_order;
+  EngineOptions opts;
+  opts.jobs = 4;
+  opts.on_result = [&](const SweepRow& row) {
+    completion_order.push_back(row.index);
+  };
+  SweepEngine engine(opts);
+  const SweepOutcome out = engine.run(points);
+
+  ASSERT_EQ(out.rows.size(), points.size());
+  EXPECT_EQ(out.failed, 0u);
+  EXPECT_EQ(completion_order.size(), points.size());
+  for (std::size_t i = 0; i < out.rows.size(); ++i) {
+    const SweepRow& r = out.rows[i];
+    EXPECT_TRUE(r.ok) << r.label << ": " << r.error;
+    EXPECT_EQ(r.index, points[i].index) << "rows land in point order";
+    EXPECT_EQ(r.label, points[i].label);
+    EXPECT_GT(r.result.time_s, 0.0);
+    EXPECT_GT(r.baseline_time_s, 0.0);
+    EXPECT_GT(r.normalized, 0.0);
+    // Nothing meaningfully beats the DRAM-only machine (Unimem is allowed
+    // the same 2% modeling slack integration_test grants it).
+    EXPECT_GE(r.normalized, 0.98) << r.label;
+  }
+  // One DRAM-only baseline per workload, shared by both policies.
+  EXPECT_EQ(out.baseline_requests, 4u);
+  EXPECT_EQ(out.baseline_computed, 2u);
+  EXPECT_EQ(out.worlds_executed, 4u + 2u);
+}
+
+TEST(SweepEngine, JobWiderThanTheRankBudgetStillRuns) {
+  SweepSpec s = tiny_spec();
+  s.workloads = {"cg"};
+  s.policies = {exp::Policy::kNvmOnly};
+  s.nranks = 4;  // wider than the 2-rank budget below
+  EngineOptions opts;
+  opts.jobs = 4;
+  opts.max_inflight_ranks = 2;
+  SweepEngine engine(opts);
+  const SweepOutcome out = engine.run(s.expand());
+  ASSERT_EQ(out.rows.size(), 1u);
+  EXPECT_TRUE(out.rows[0].ok) << out.rows[0].error;
+}
+
+TEST(SweepEngine, FailingPointsAreIsolated) {
+  SweepSpec s = tiny_spec();
+  s.policies = {exp::Policy::kNvmOnly};
+  SweepSpec::ExplicitPoint bad;
+  bad.label = "bogus/point";
+  bad.cfg.workload = "bogus";
+  bad.cfg.wcfg.cls = 'S';
+  bad.cfg.wcfg.iterations = 1;
+  bad.cfg.wcfg.nranks = 1;
+  bad.normalize = true;  // the baseline itself throws -> isolated too
+  s.explicit_points.push_back(bad);
+
+  EngineOptions opts;
+  opts.jobs = 3;
+  SweepEngine engine(opts);
+  const SweepOutcome out = engine.run(s.expand());
+
+  ASSERT_EQ(out.rows.size(), 3u);  // cg, ft, bogus
+  EXPECT_EQ(out.failed, 1u);
+  EXPECT_TRUE(out.rows[0].ok);
+  EXPECT_TRUE(out.rows[1].ok);
+  EXPECT_FALSE(out.rows[2].ok);
+  EXPECT_NE(out.rows[2].error.find("unknown workload"), std::string::npos)
+      << out.rows[2].error;
+}
+
+// The determinism regression: the same SweepSpec run with --jobs 1 and
+// --jobs 8 produces bitwise-identical time_s/checksum per point.  This is
+// what flushes out hidden shared mutable state between concurrent Worlds.
+TEST(SweepEngine, SweepDeterminismAcrossJobCounts) {
+  SweepSpec s = tiny_spec();
+  s.workloads = {"cg", "mg"};
+  s.nvm_bw_ratios = {0.5, 0.25};
+  s.iterations = 3;
+  const auto points = s.expand();
+  ASSERT_EQ(points.size(), 8u);
+
+  EngineOptions serial;
+  serial.jobs = 1;
+  SweepEngine e1(serial);
+  const SweepOutcome a = e1.run(points);
+
+  EngineOptions wide;
+  wide.jobs = 8;
+  SweepEngine e8(wide);
+  const SweepOutcome b = e8.run(points);
+
+  ASSERT_EQ(a.rows.size(), b.rows.size());
+  EXPECT_EQ(a.failed, 0u);
+  EXPECT_EQ(b.failed, 0u);
+  for (std::size_t i = 0; i < a.rows.size(); ++i) {
+    SCOPED_TRACE(a.rows[i].label);
+    // Bitwise, not approximate: placement decisions, migration schedules
+    // and virtual-time accounting must not feel neighboring Worlds.
+    EXPECT_EQ(a.rows[i].result.time_s, b.rows[i].result.time_s);
+    EXPECT_EQ(a.rows[i].result.checksum, b.rows[i].result.checksum);
+    EXPECT_EQ(a.rows[i].baseline_time_s, b.rows[i].baseline_time_s);
+    EXPECT_EQ(a.rows[i].normalized, b.rows[i].normalized);
+    EXPECT_EQ(a.rows[i].result.total_migrations,
+              b.rows[i].result.total_migrations);
+  }
+}
+
+// The exact cache model is address-sensitive (set indexing by line
+// address), so this config would catch any arena offset that depends on
+// helper-thread timing — the zombie-free race the per-tier quiescing in
+// MigrationEngine exists to prevent.  Tight DRAM maximizes churn.
+TEST(SweepEngine, DeterministicWithExactCacheAndTightDram) {
+  SweepSpec s = tiny_spec();
+  s.workloads = {"nek", "cg"};
+  s.policies = {exp::Policy::kUnimem};
+  s.iterations = 4;
+  s.dram_capacities = {kMiB};
+  s.unimem.use_exact_cache = true;
+  const auto points = s.expand();
+  ASSERT_EQ(points.size(), 2u);
+
+  auto run_with_jobs = [&](int jobs) {
+    EngineOptions o;
+    o.jobs = jobs;
+    SweepEngine e(o);
+    return e.run(points);
+  };
+  const SweepOutcome a = run_with_jobs(1);
+  const SweepOutcome b = run_with_jobs(4);
+  const SweepOutcome c = run_with_jobs(1);  // cross-run, not just cross-jobs
+
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    SCOPED_TRACE(points[i].label);
+    EXPECT_TRUE(a.rows[i].ok) << a.rows[i].error;
+    EXPECT_EQ(a.rows[i].result.time_s, b.rows[i].result.time_s);
+    EXPECT_EQ(a.rows[i].result.time_s, c.rows[i].result.time_s);
+    EXPECT_EQ(a.rows[i].result.checksum, b.rows[i].result.checksum);
+    EXPECT_EQ(a.rows[i].result.total_migrations,
+              b.rows[i].result.total_migrations);
+    EXPECT_EQ(a.rows[i].result.total_migrations,
+              c.rows[i].result.total_migrations);
+  }
+}
+
+// ---- result store ---------------------------------------------------------
+
+SweepRow make_row(std::size_t index, bool ok) {
+  SweepRow r;
+  r.index = index;
+  r.label = "cg/nvm-only/bw0.5#" + std::to_string(index);
+  r.axis = {{"workload", "cg"}, {"policy", "nvm-only"}};
+  r.ok = ok;
+  if (!ok) r.error = "boom, with \"quotes\"";
+  r.result.time_s = 0.125 * static_cast<double>(index + 1);
+  r.result.checksum = 42.5;
+  r.baseline_time_s = 0.125;
+  r.normalized = static_cast<double>(index + 1);
+  return r;
+}
+
+TEST(SweepResultStore, StreamsJsonlAndWritesSortedCsv) {
+  const std::string dir = ::testing::TempDir();
+  const std::string jsonl = dir + "/sweep_test_rows.jsonl";
+  const std::string csv = dir + "/sweep_test_rows.csv";
+  {
+    SweepResultStore store;
+    store.stream_jsonl(jsonl);
+    store.write_csv_at_finish(csv);
+    store.add(make_row(2, true));  // completion order != point order
+    store.add(make_row(0, true));
+    store.add(make_row(1, false));
+    store.finish();
+    ASSERT_EQ(store.rows().size(), 3u);
+    EXPECT_EQ(store.rows()[0].index, 0u);  // finish() sorts by index
+    EXPECT_EQ(store.rows()[2].index, 2u);
+  }
+
+  std::ifstream jf(jsonl);
+  ASSERT_TRUE(jf.good());
+  std::string line;
+  std::vector<std::string> lines;
+  while (std::getline(jf, line)) lines.push_back(line);
+  ASSERT_EQ(lines.size(), 3u);
+  // JSONL preserves completion order but carries the index.
+  EXPECT_NE(lines[0].find("\"index\":2"), std::string::npos);
+  EXPECT_NE(lines[1].find("\"index\":0"), std::string::npos);
+  EXPECT_NE(lines[2].find("\"ok\":false"), std::string::npos);
+  EXPECT_NE(lines[2].find("\\\"quotes\\\""), std::string::npos);
+
+  std::ifstream cf(csv);
+  ASSERT_TRUE(cf.good());
+  std::vector<std::string> csv_lines;
+  while (std::getline(cf, line)) csv_lines.push_back(line);
+  ASSERT_EQ(csv_lines.size(), 4u);  // header + 3 rows in index order
+  EXPECT_EQ(csv_lines[0].rfind("index,label,ok", 0), 0u);
+  EXPECT_EQ(csv_lines[1].rfind("0,", 0), 0u);
+  EXPECT_EQ(csv_lines[3].rfind("2,", 0), 0u);
+  // The failed row's error was sanitized into a single record.
+  EXPECT_EQ(std::count(csv_lines[2].begin(), csv_lines[2].end(), ','), 11);
+}
+
+TEST(SweepResultStore, FindRowMatchesAxisSubsets) {
+  std::vector<SweepRow> rows{make_row(0, true), make_row(1, true)};
+  rows[1].axis["policy"] = "unimem";
+  EXPECT_EQ(find_row(rows, {{"policy", "unimem"}}), &rows[1]);
+  EXPECT_EQ(find_row(rows, {{"workload", "cg"}}), &rows[0]);
+  EXPECT_EQ(find_row(rows, {{"workload", "ft"}}), nullptr);
+  EXPECT_EQ(find_row(rows, {{"no-such-axis", "x"}}), nullptr);
+}
+
+// ---- exp::Report serialization (the satellite this PR adds) ---------------
+
+TEST(Report, CsvAndJsonlSerialization) {
+  exp::Report rep("Sweep Report: unit");
+  rep.set_header({"benchmark", "value"});
+  rep.add_row({"cg", "1.25"});
+  rep.add_row({"ft", "2.50"});
+  EXPECT_EQ(rep.to_csv(), "benchmark,value\ncg,1.25\nft,2.50\n");
+  const std::string jsonl = rep.to_jsonl();
+  EXPECT_NE(jsonl.find("{\"report\":\"Sweep Report: unit\",\"benchmark\":"
+                       "\"cg\",\"value\":\"1.25\"}"),
+            std::string::npos);
+  EXPECT_EQ(std::count(jsonl.begin(), jsonl.end(), '\n'), 2);
+}
+
+TEST(Report, SlugsAreFilesystemSafeAndUniquePerProcess) {
+  exp::Report a("Fig. X: some sweep (1/2 BW)");
+  EXPECT_EQ(a.slug(), "fig-x-some-sweep-1-2-bw");
+  EXPECT_EQ(a.slug(), a.slug()) << "stable per report";
+  exp::Report b("Fig. X: some sweep (1/2 BW)");
+  EXPECT_EQ(b.slug(), "fig-x-some-sweep-1-2-bw-2") << "no clobbering";
+}
+
+TEST(Report, EnvDrivenPerReportFiles) {
+  const std::string dir = ::testing::TempDir();
+  const std::string prefix = dir + "/report_env_test";
+  ASSERT_EQ(setenv("UNIMEM_CSV", prefix.c_str(), 1), 0);
+  ASSERT_EQ(setenv("UNIMEM_JSONL", prefix.c_str(), 1), 0);
+  std::FILE* sink = std::fopen("/dev/null", "w");
+  ASSERT_NE(sink, nullptr);
+  {
+    exp::Report rep("Env Report One");
+    rep.set_header({"k"});
+    rep.add_row({"v1"});
+    rep.print(sink);
+    exp::Report rep2("Env Report Two");
+    rep2.set_header({"k"});
+    rep2.add_row({"v2"});
+    rep2.print(sink);
+  }
+  std::fclose(sink);
+  unsetenv("UNIMEM_CSV");
+  unsetenv("UNIMEM_JSONL");
+
+  // Two reports, four files, nobody overwrote anybody.
+  std::ifstream c1(prefix + "-env-report-one.csv");
+  std::ifstream c2(prefix + "-env-report-two.csv");
+  std::ifstream j1(prefix + "-env-report-one.jsonl");
+  std::ifstream j2(prefix + "-env-report-two.jsonl");
+  ASSERT_TRUE(c1.good());
+  ASSERT_TRUE(c2.good());
+  ASSERT_TRUE(j1.good());
+  ASSERT_TRUE(j2.good());
+  std::stringstream ss;
+  ss << c1.rdbuf();
+  EXPECT_EQ(ss.str(), "k\nv1\n");
+  ss.str("");
+  ss << j2.rdbuf();
+  EXPECT_NE(ss.str().find("\"k\":\"v2\""), std::string::npos);
+}
+
+}  // namespace
+}  // namespace unimem::sweep

@@ -1,0 +1,214 @@
+// unimem_sweep: batch experiment driver over the sweep subsystem.
+//
+//   unimem_sweep --list
+//   unimem_sweep --spec fig13 --jobs 8
+//   unimem_sweep --spec fig2 --filter cg --points
+//   unimem_sweep --spec fig11 --jobs 4 --csv out.csv --jsonl out.jsonl
+//                [--summary-json summary.json]
+//
+// Runs a named SweepSpec through the SweepEngine: one World per point,
+// concurrency bounded by simulated ranks in flight, DRAM-only
+// normalization baselines memoized across the whole batch, results
+// reported in deterministic spec order.  UNIMEM_BENCH_SMOKE=1 (or
+// --smoke) shrinks the spec to smoke scale, same as the bench harnesses.
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <exception>
+#include <string>
+#include <thread>
+
+#include "sweep/engine.h"
+#include "sweep/result_store.h"
+#include "sweep/spec.h"
+
+namespace {
+
+void usage(std::FILE* out) {
+  std::fputs(
+      "usage: unimem_sweep --spec NAME [options]\n"
+      "       unimem_sweep --list\n"
+      "\n"
+      "options:\n"
+      "  --spec NAME          built-in spec to run (see --list)\n"
+      "  --jobs N             concurrent jobs (default: hardware threads)\n"
+      "  --ranks N            max simulated ranks in flight (default: 4*jobs)\n"
+      "  --filter STR         run only points whose label contains STR\n"
+      "  --points             print the expanded point list and exit\n"
+      "  --csv PATH           write the result table as CSV\n"
+      "  --jsonl PATH         stream per-point results as JSONL\n"
+      "  --summary-json PATH  write a machine-readable batch summary\n"
+      "  --smoke              clamp to smoke scale (same as UNIMEM_BENCH_SMOKE=1)\n"
+      "  --quiet              suppress the stdout table\n",
+      out);
+}
+
+struct Args {
+  std::string spec;
+  std::string filter;
+  std::string csv, jsonl, summary_json;
+  int jobs = 0;
+  int ranks = 0;
+  bool list = false, points = false, smoke = false, quiet = false;
+};
+
+bool parse(int argc, char** argv, Args& a) {
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto value = [&](const char* flag) -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "unimem_sweep: %s needs a value\n", flag);
+        return nullptr;
+      }
+      return argv[++i];
+    };
+    if (arg == "--help" || arg == "-h") {
+      usage(stdout);
+      std::exit(0);
+    } else if (arg == "--list") {
+      a.list = true;
+    } else if (arg == "--points") {
+      a.points = true;
+    } else if (arg == "--smoke") {
+      a.smoke = true;
+    } else if (arg == "--quiet") {
+      a.quiet = true;
+    } else if (arg == "--spec") {
+      const char* v = value("--spec");
+      if (v == nullptr) return false;
+      a.spec = v;
+    } else if (arg == "--filter") {
+      const char* v = value("--filter");
+      if (v == nullptr) return false;
+      a.filter = v;
+    } else if (arg == "--csv") {
+      const char* v = value("--csv");
+      if (v == nullptr) return false;
+      a.csv = v;
+    } else if (arg == "--jsonl") {
+      const char* v = value("--jsonl");
+      if (v == nullptr) return false;
+      a.jsonl = v;
+    } else if (arg == "--summary-json") {
+      const char* v = value("--summary-json");
+      if (v == nullptr) return false;
+      a.summary_json = v;
+    } else if (arg == "--jobs") {
+      const char* v = value("--jobs");
+      if (v == nullptr) return false;
+      a.jobs = std::atoi(v);
+    } else if (arg == "--ranks") {
+      const char* v = value("--ranks");
+      if (v == nullptr) return false;
+      a.ranks = std::atoi(v);
+    } else {
+      std::fprintf(stderr, "unimem_sweep: unknown option '%s'\n", arg.c_str());
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+int run_cli(int argc, char** argv);
+
+int main(int argc, char** argv) {
+  try {
+    return run_cli(argc, argv);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "unimem_sweep: %s\n", e.what());
+    return 1;
+  }
+}
+
+int run_cli(int argc, char** argv) {
+  using namespace unimem;
+  Args a;
+  if (!parse(argc, argv, a)) {
+    usage(stderr);
+    return 1;
+  }
+
+  if (a.list) {
+    std::printf("%-8s %-7s %s\n", "spec", "points", "title");
+    for (const std::string& name : sweep::spec_names()) {
+      sweep::SweepSpec s = *sweep::spec_by_name(name);
+      if (a.smoke || sweep::smoke_requested()) s = sweep::smoke_clamped(s);
+      std::printf("%-8s %-7zu %s\n", name.c_str(), s.size(), s.title.c_str());
+    }
+    return 0;
+  }
+
+  if (a.spec.empty()) {
+    usage(stderr);
+    return 1;
+  }
+  auto spec = sweep::spec_by_name(a.spec);
+  if (!spec) {
+    std::fprintf(stderr, "unimem_sweep: unknown spec '%s' (try --list)\n",
+                 a.spec.c_str());
+    return 1;
+  }
+  if (a.smoke || sweep::smoke_requested()) *spec = sweep::smoke_clamped(*spec);
+
+  const auto points = spec->expand(a.filter);
+  if (points.empty()) {
+    std::fprintf(stderr, "unimem_sweep: no points match filter '%s'\n",
+                 a.filter.c_str());
+    return 1;
+  }
+
+  if (a.points) {
+    std::printf("%-5s %-6s %s\n", "index", "ranks", "label");
+    for (const auto& p : points)
+      std::printf("%-5zu %-6d %s%s\n", p.index, p.cfg.wcfg.nranks,
+                  p.label.c_str(), p.normalize ? "  [normalized]" : "");
+    std::printf("%zu points\n", points.size());
+    return 0;
+  }
+
+  sweep::SweepResultStore store;
+  if (!a.jsonl.empty()) store.stream_jsonl(a.jsonl);
+  if (!a.csv.empty()) store.write_csv_at_finish(a.csv);
+
+  sweep::EngineOptions eopts;
+  eopts.jobs = a.jobs;
+  eopts.max_inflight_ranks = a.ranks;
+  eopts.on_result = [&](const sweep::SweepRow& row) { store.add(row); };
+  sweep::SweepEngine engine(eopts);
+  const sweep::SweepOutcome outcome = engine.run(points);
+  store.finish();
+
+  if (!a.quiet) {
+    store.report(spec->title + " [" + a.spec + ", " +
+                 std::to_string(points.size()) + " points]")
+        .print();
+  }
+  std::printf(
+      "\nsweep %s: %zu points, %zu failed, %.2fs wall, %zu worlds executed "
+      "(naive: %zu), %zu/%zu baselines memoized\n",
+      a.spec.c_str(), outcome.rows.size(), outcome.failed, outcome.wall_s,
+      outcome.worlds_executed, outcome.rows.size() + outcome.baseline_requests,
+      outcome.baseline_requests - outcome.baseline_computed,
+      outcome.baseline_requests);
+
+  if (!a.summary_json.empty()) {
+    std::FILE* f = std::fopen(a.summary_json.c_str(), "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "unimem_sweep: cannot open %s\n",
+                   a.summary_json.c_str());
+      return 1;
+    }
+    std::fprintf(
+        f,
+        "{\"spec\":\"%s\",\"points\":%zu,\"failed\":%zu,\"jobs\":%d,"
+        "\"wall_s\":%.6f,\"worlds_executed\":%zu,\"baseline_requests\":%zu,"
+        "\"baseline_computed\":%zu,\"host_cpus\":%u}\n",
+        a.spec.c_str(), outcome.rows.size(), outcome.failed, outcome.jobs_used,
+        outcome.wall_s, outcome.worlds_executed, outcome.baseline_requests,
+        outcome.baseline_computed, std::thread::hardware_concurrency());
+    std::fclose(f);
+  }
+  return outcome.failed == 0 ? 0 : 2;
+}
