@@ -1,32 +1,24 @@
 // Figure 10: DRAM-only vs NVM-only vs X-Men vs Unimem, NVM at 4x DRAM
 // latency.  Expected shape (paper): average NVM-only gap ~47%; Unimem
 // within ~7% of DRAM-only on average, <= 10% per benchmark.
-#include "bench_common.h"
+//
+// Batch on the sweep engine over the shared "fig10" SweepSpec (the
+// latency twin of fig9's grid).
+#include "sweep_bench_common.h"
 
 int main() {
   using namespace unimem;
+  const sweep::SweepSpec spec = bench::resolve_spec("fig10");
+  const sweep::SweepOutcome outcome = bench::run_spec(spec);
+
   exp::Report rep(
       "Fig. 10: policies at NVM = 4x DRAM latency (normalized to DRAM-only)");
   rep.set_header({"benchmark", "NVM-only", "X-Men", "Unimem"});
-  std::vector<std::string> all = bench::npb();
-  all.push_back("nek");
-  for (const std::string& w : all) {
-    exp::RunConfig cfg = bench::base_config(w);
-    cfg = bench::smoke(cfg);
-    cfg.nvm_bw_ratio = 1.0;
-    cfg.nvm_lat_mult = 4.0;
-    cfg.policy = exp::Policy::kDramOnly;
-    double dram = exp::run_once(cfg).time_s;
-    cfg.policy = exp::Policy::kNvmOnly;
-    double nvm = exp::run_once(cfg).time_s;
-    cfg.policy = exp::Policy::kXMen;
-    double xmen = exp::run_once(cfg).time_s;
-    cfg.policy = exp::Policy::kUnimem;
-    double uni = exp::run_once(cfg).time_s;
-    rep.add_row({w, exp::Report::num(nvm / dram, 2),
-                 exp::Report::num(xmen / dram, 2),
-                 exp::Report::num(uni / dram, 2)});
-  }
+  for (const std::string& w : spec.workloads)
+    rep.add_row(
+        {w, bench::cell(outcome, {{"workload", w}, {"policy", "nvm-only"}}),
+         bench::cell(outcome, {{"workload", w}, {"policy", "xmen"}}),
+         bench::cell(outcome, {{"workload", w}, {"policy", "unimem"}})});
   rep.print();
-  return 0;
+  return bench::exit_code(outcome);
 }

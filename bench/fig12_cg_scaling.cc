@@ -3,30 +3,30 @@
 // Expected shape (paper): Unimem stays within ~7% of DRAM-only at every
 // scale while NVM-only keeps a visible gap; per-rank data shrinks with
 // scale, shifting object sensitivities.
-#include "bench_common.h"
+//
+// Batch on the sweep engine over the shared "fig12" SweepSpec — an
+// explicit-points spec varying `nranks` per row, each rank count
+// normalized by its own memoized DRAM-only baseline.
+#include "sweep_bench_common.h"
 
 int main() {
   using namespace unimem;
+  const sweep::SweepSpec spec = bench::resolve_spec("fig12");
+  const sweep::SweepOutcome outcome = bench::run_spec(spec);
+
   exp::Report rep(
       "Fig. 12: CG strong scaling, NUMA-emulated NVM (normalized to DRAM-only)");
   rep.set_header({"ranks", "NVM-only", "Unimem", "Unimem migrations"});
   for (int ranks : {2, 4, 8, 16}) {
-    exp::RunConfig cfg = bench::base_config("cg");
-    cfg.wcfg.cls = 'D';
-    cfg.wcfg.nranks = ranks;
-    cfg = bench::smoke(cfg);
-    cfg.nvm_bw_ratio = 0.60;   // the paper's NUMA emulation
-    cfg.nvm_lat_mult = 1.89;
-    cfg.policy = exp::Policy::kDramOnly;
-    double dram = exp::run_once(cfg).time_s;
-    cfg.policy = exp::Policy::kNvmOnly;
-    double nvm = exp::run_once(cfg).time_s;
-    cfg.policy = exp::Policy::kUnimem;
-    exp::RunResult uni = exp::run_once(cfg);
-    rep.add_row({std::to_string(ranks), exp::Report::num(nvm / dram, 2),
-                 exp::Report::num(uni.time_s / dram, 2),
-                 std::to_string(uni.total_migrations)});
+    const std::string r = std::to_string(ranks);
+    const sweep::SweepRow* uni =
+        bench::ok_row(outcome, {{"ranks", r}, {"policy", "unimem"}});
+    rep.add_row(
+        {r, bench::cell(outcome, {{"ranks", r}, {"policy", "nvm-only"}}),
+         bench::cell(outcome, {{"ranks", r}, {"policy", "unimem"}}),
+         uni != nullptr ? std::to_string(uni->result.total_migrations)
+                        : "n/a"});
   }
   rep.print();
-  return 0;
+  return bench::exit_code(outcome);
 }

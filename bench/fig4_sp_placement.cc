@@ -6,45 +6,44 @@
 // Expected shape (paper Observation 3): the buffers help under the
 // bandwidth configuration but not the latency one; lhs helps under the
 // latency configuration but not the bandwidth one; rhs helps under both.
-#include "bench_common.h"
+//
+// Batch on the sweep engine over the shared "fig4" SweepSpec — an
+// explicit-points spec (each point carries its own manual_dram set), with
+// the DRAM-only reference served by the memoized normalization baseline
+// instead of a bespoke run per table.
+#include "sweep_bench_common.h"
 
 int main() {
   using namespace unimem;
+  const sweep::SweepSpec spec = bench::resolve_spec("fig4");
+  const sweep::SweepOutcome outcome = bench::run_spec(spec);
+
   struct NvmCfg {
-    const char* name;
-    double bw, lat;
+    const char* slug;  // the spec's "nvm" axis value
+    const char* name;  // the table title's human name
   };
-  const NvmCfg nvms[] = {{"1/2 bandwidth", 0.5, 1.0}, {"4x latency", 1.0, 4.0}};
-  const std::vector<std::pair<std::string, std::vector<std::string>>> sets = {
-      {"in+out buffer", {"in_buffer", "out_buffer"}},
-      {"lhs", {"lhs"}},
-      {"rhs", {"rhs"}},
-  };
+  const NvmCfg nvms[] = {{"bw0.5", "1/2 bandwidth"}, {"lat4", "4x latency"}};
+  const std::pair<const char*, const char*> sets[] = {
+      {"in+out", "in+out buffer"}, {"lhs", "lhs"}, {"rhs", "rhs"}};
 
   for (char cls : {'C', 'D'}) {
     for (const NvmCfg& n : nvms) {
       exp::Report rep(std::string("Fig. 4: SP class ") + cls + ", NVM = " +
                       n.name + " (normalized to DRAM-only)");
       rep.set_header({"placement in DRAM", "normalized time"});
-      exp::RunConfig cfg = bench::base_config("sp");
-      cfg.wcfg.cls = cls;
-      cfg = bench::smoke(cfg);
-      cfg.nvm_bw_ratio = n.bw;
-      cfg.nvm_lat_mult = n.lat;
-      cfg.policy = exp::Policy::kDramOnly;
-      double dram = exp::run_once(cfg).time_s;
+      const std::map<std::string, std::string> group{
+          {"cls", std::string(1, cls)}, {"nvm", n.slug}};
       rep.add_row({"(DRAM-only)", exp::Report::num(1.0, 2)});
-      for (const auto& [label, names] : sets) {
-        cfg.policy = exp::Policy::kManual;
-        cfg.manual_dram = names;
-        rep.add_row({label,
-                     exp::Report::num(exp::run_once(cfg).time_s / dram, 2)});
+      for (const auto& [slug, label] : sets) {
+        auto where = group;
+        where["placement"] = slug;
+        rep.add_row({label, bench::cell(outcome, where)});
       }
-      cfg.policy = exp::Policy::kNvmOnly;
-      rep.add_row({"(NVM-only)",
-                   exp::Report::num(exp::run_once(cfg).time_s / dram, 2)});
+      auto where = group;
+      where["placement"] = "nvm-only";
+      rep.add_row({"(NVM-only)", bench::cell(outcome, where)});
       rep.print();
     }
   }
-  return 0;
+  return bench::exit_code(outcome);
 }

@@ -2,36 +2,35 @@
 // bandwidth, six NPB kernels + Nek5000(eddy).  Expected shape (paper):
 // average NVM-only gap ~18%; Unimem within a few percent of DRAM-only and
 // never worse than NVM-only; Unimem ~ X-Men on NPB.
-#include "bench_common.h"
+//
+// Batch on the sweep engine over the shared "fig9" SweepSpec: one
+// DRAM-only baseline per workload serves all three policies, and this
+// file only pivots the engine rows into the figure's table.
+#include "sweep_bench_common.h"
 
 int main() {
   using namespace unimem;
+  const sweep::SweepSpec spec = bench::resolve_spec("fig9");
+  const sweep::SweepOutcome outcome = bench::run_spec(spec);
+
   exp::Report rep(
       "Fig. 9: policies at NVM = 1/2 DRAM bandwidth (normalized to DRAM-only)");
   rep.set_header({"benchmark", "NVM-only", "X-Men", "Unimem", "migrations",
                   "overlap %", "runtime cost %"});
-  std::vector<std::string> all = bench::npb();
-  all.push_back("nek");
-  for (const std::string& w : all) {
-    exp::RunConfig cfg = bench::base_config(w);
-    cfg = bench::smoke(cfg);
-    cfg.nvm_bw_ratio = 0.5;
-    cfg.nvm_lat_mult = 1.0;
-    cfg.policy = exp::Policy::kDramOnly;
-    double dram = exp::run_once(cfg).time_s;
-    cfg.policy = exp::Policy::kNvmOnly;
-    double nvm = exp::run_once(cfg).time_s;
-    cfg.policy = exp::Policy::kXMen;
-    double xmen = exp::run_once(cfg).time_s;
-    cfg.policy = exp::Policy::kUnimem;
-    exp::RunResult uni = exp::run_once(cfg);
-    rep.add_row({w, exp::Report::num(nvm / dram, 2),
-                 exp::Report::num(xmen / dram, 2),
-                 exp::Report::num(uni.time_s / dram, 2),
-                 std::to_string(uni.total_migrations),
-                 exp::Report::num(uni.mean_overlap_percent, 1),
-                 exp::Report::num(uni.mean_overhead_percent, 2)});
+  for (const std::string& w : spec.workloads) {
+    const sweep::SweepRow* uni =
+        bench::ok_row(outcome, {{"workload", w}, {"policy", "unimem"}});
+    rep.add_row(
+        {w, bench::cell(outcome, {{"workload", w}, {"policy", "nvm-only"}}),
+         bench::cell(outcome, {{"workload", w}, {"policy", "xmen"}}),
+         bench::cell(outcome, {{"workload", w}, {"policy", "unimem"}}),
+         uni != nullptr ? std::to_string(uni->result.total_migrations) : "n/a",
+         uni != nullptr ? exp::Report::num(uni->result.mean_overlap_percent, 1)
+                        : "n/a",
+         uni != nullptr
+             ? exp::Report::num(uni->result.mean_overhead_percent, 2)
+             : "n/a"});
   }
   rep.print();
-  return 0;
+  return bench::exit_code(outcome);
 }

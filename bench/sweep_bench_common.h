@@ -27,14 +27,23 @@ inline sweep::SweepOutcome run_spec(const sweep::SweepSpec& spec) {
   return engine.run(spec.expand());
 }
 
+/// The matching row when present and ok, else nullptr — for harnesses
+/// that print raw RunResult stats (migration counts, overlap), not just
+/// the normalized cell.
+inline const sweep::SweepRow* ok_row(
+    const sweep::SweepOutcome& outcome,
+    const std::map<std::string, std::string>& where) {
+  const sweep::SweepRow* r = sweep::find_row(outcome.rows, where);
+  return (r != nullptr && r->ok) ? r : nullptr;
+}
+
 /// Table cell: the normalized time of the row matching `where`, or "n/a"
 /// when the point is missing/failed (failures never sink the table).
 inline std::string cell(const sweep::SweepOutcome& outcome,
                         const std::map<std::string, std::string>& where,
                         int prec = 2) {
-  const sweep::SweepRow* r = sweep::find_row(outcome.rows, where);
-  if (r == nullptr || !r->ok) return "n/a";
-  return exp::Report::num(r->normalized, prec);
+  const sweep::SweepRow* r = ok_row(outcome, where);
+  return r != nullptr ? exp::Report::num(r->normalized, prec) : "n/a";
 }
 
 inline int exit_code(const sweep::SweepOutcome& outcome) {

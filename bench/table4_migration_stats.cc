@@ -3,26 +3,32 @@
 // and the share of migration time overlapped with computation.
 // Expected shape (paper): runtime cost < 3% everywhere; overlap typically
 // 60-100%; BT and Nek migrate far more than CG/LU/MG.
-#include "bench_common.h"
+//
+// Batch on the sweep engine over the shared "table4" SweepSpec
+// (unnormalized — the table reports raw per-run migration stats).
+#include "sweep_bench_common.h"
 
 int main() {
   using namespace unimem;
+  const sweep::SweepSpec spec = bench::resolve_spec("table4");
+  const sweep::SweepOutcome outcome = bench::run_spec(spec);
+
   exp::Report rep("Table 4: migration details (NVM = 1/2 DRAM bandwidth)");
   rep.set_header({"benchmark", "migrations", "migrated (MB)",
                   "pure runtime cost %", "% overlap"});
-  std::vector<std::string> all = bench::npb();
-  all.push_back("nek");
-  for (const std::string& w : all) {
-    exp::RunConfig cfg = bench::base_config(w);
-    cfg = bench::smoke(cfg);
-    cfg.nvm_bw_ratio = 0.5;
-    cfg.policy = exp::Policy::kUnimem;
-    exp::RunResult r = exp::run_once(cfg);
-    rep.add_row({w, std::to_string(r.total_migrations),
-                 exp::Report::num(static_cast<double>(r.total_bytes_moved) / 1e6, 1),
-                 exp::Report::num(r.mean_overhead_percent, 2),
-                 exp::Report::num(r.mean_overlap_percent, 1)});
+  for (const std::string& w : spec.workloads) {
+    const sweep::SweepRow* r = bench::ok_row(outcome, {{"workload", w}});
+    if (r == nullptr) {
+      rep.add_row({w, "n/a", "n/a", "n/a", "n/a"});
+      continue;
+    }
+    rep.add_row(
+        {w, std::to_string(r->result.total_migrations),
+         exp::Report::num(static_cast<double>(r->result.total_bytes_moved) / 1e6,
+                          1),
+         exp::Report::num(r->result.mean_overhead_percent, 2),
+         exp::Report::num(r->result.mean_overlap_percent, 1)});
   }
   rep.print();
-  return 0;
+  return bench::exit_code(outcome);
 }

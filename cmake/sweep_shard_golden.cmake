@@ -1,0 +1,51 @@
+# Golden determinism of the unimem_sweep CLI across execution topologies:
+# runs SPEC single-process (--jobs 1), as two --shard I/2 slices stitched
+# back with --merge, and as a fork-based --shards 2 run, then asserts the
+# CSV/JSONL artifacts of every topology are byte-identical to the
+# --jobs 1 ones.  Invoked by ctest (label sweep-smoke) as
+#   cmake -DSWEEP_CLI=... -DWORK_DIR=... -DSPEC=fig12 -P this_file
+foreach(var SWEEP_CLI WORK_DIR SPEC)
+  if(NOT DEFINED ${var})
+    message(FATAL_ERROR "sweep_shard_golden: -D${var}=... is required")
+  endif()
+endforeach()
+
+file(REMOVE_RECURSE "${WORK_DIR}")
+file(MAKE_DIRECTORY "${WORK_DIR}")
+set(ENV{UNIMEM_BENCH_SMOKE} 1)
+
+function(run_cli)
+  execute_process(COMMAND ${ARGN} RESULT_VARIABLE rc)
+  if(NOT rc EQUAL 0)
+    message(FATAL_ERROR "sweep_shard_golden: '${ARGN}' exited ${rc}")
+  endif()
+endfunction()
+
+run_cli("${SWEEP_CLI}" --spec ${SPEC} --jobs 1 --quiet
+        --csv "${WORK_DIR}/j1.csv" --jsonl "${WORK_DIR}/j1.jsonl")
+run_cli("${SWEEP_CLI}" --spec ${SPEC} --shard 0/2 --quiet
+        --jsonl "${WORK_DIR}/s0.jsonl")
+run_cli("${SWEEP_CLI}" --spec ${SPEC} --shard 1/2 --quiet
+        --jsonl "${WORK_DIR}/s1.jsonl")
+run_cli("${SWEEP_CLI}" --merge "${WORK_DIR}/s0.jsonl" "${WORK_DIR}/s1.jsonl"
+        --quiet --csv "${WORK_DIR}/merged.csv"
+        --jsonl "${WORK_DIR}/merged.jsonl")
+run_cli("${SWEEP_CLI}" --spec ${SPEC} --shards 2 --quiet
+        --csv "${WORK_DIR}/forked.csv" --jsonl "${WORK_DIR}/forked.jsonl")
+
+foreach(variant merged forked)
+  foreach(ext csv jsonl)
+    execute_process(
+      COMMAND ${CMAKE_COMMAND} -E compare_files
+              "${WORK_DIR}/j1.${ext}" "${WORK_DIR}/${variant}.${ext}"
+      RESULT_VARIABLE rc)
+    if(NOT rc EQUAL 0)
+      message(FATAL_ERROR
+              "sweep_shard_golden: ${SPEC} ${variant}.${ext} differs from the "
+              "--jobs 1 artifact (determinism across topologies is broken)")
+    endif()
+  endforeach()
+endforeach()
+message(STATUS
+        "sweep_shard_golden: ${SPEC} CSV/JSONL byte-identical across "
+        "--jobs 1, --shard+--merge, and --shards 2")

@@ -1,8 +1,9 @@
 #!/usr/bin/env bash
 # Measures the sweep engine on a full-size spec — wall clock at --jobs 1
-# vs --jobs 8, per-point result identity across the two, and the world
-# count saved by baseline memoization — and records the result under
-# "sweep_engine" in BENCH_components.json (README "Perf methodology").
+# vs --jobs 8 vs a fork-based 2-shard run, per-point result identity
+# across all three topologies, and the world count saved by baseline
+# memoization — and records the result under "sweep_engine" in
+# BENCH_components.json (README "Perf methodology").
 #
 # Usage: scripts/bench_sweep.sh [spec] [build-dir]
 set -euo pipefail
@@ -24,23 +25,32 @@ trap 'rm -rf "$TMP"' EXIT
   --csv "$TMP/j1.csv" --summary-json "$TMP/j1.json" >&2
 "$BUILD/unimem_sweep" --spec "$SPEC" --jobs 8 --quiet \
   --csv "$TMP/j8.csv" --summary-json "$TMP/j8.json" >&2
+"$BUILD/unimem_sweep" --spec "$SPEC" --shards 2 --jobs 4 --quiet \
+  --csv "$TMP/sh2.csv" --summary-json "$TMP/sh2.json" >&2
 
 IDENTICAL=false
 cmp -s "$TMP/j1.csv" "$TMP/j8.csv" && IDENTICAL=true
 echo "per-point identity across job counts: $IDENTICAL" >&2
+SHARD_IDENTICAL=false
+cmp -s "$TMP/j1.csv" "$TMP/sh2.csv" && SHARD_IDENTICAL=true
+echo "per-point identity sharded (2 procs) vs jobs 1: $SHARD_IDENTICAL" >&2
 
 [ -f "$OUT" ] || echo '{}' > "$OUT"
 jq --arg spec "$SPEC" --argjson identical "$IDENTICAL" \
-   --slurpfile j1 "$TMP/j1.json" --slurpfile j8 "$TMP/j8.json" '
+   --argjson shard_identical "$SHARD_IDENTICAL" \
+   --slurpfile j1 "$TMP/j1.json" --slurpfile j8 "$TMP/j8.json" \
+   --slurpfile sh2 "$TMP/sh2.json" '
   .sweep_engine = {
     spec: $spec,
     points: $j1[0].points,
     host_cpus: $j1[0].host_cpus,
     jobs1_wall_s: ($j1[0].wall_s * 1000 | round / 1000),
     jobs8_wall_s: ($j8[0].wall_s * 1000 | round / 1000),
+    sharded2_wall_s: ($sh2[0].wall_s * 1000 | round / 1000),
     speedup_jobs8_over_jobs1:
       ($j1[0].wall_s / $j8[0].wall_s * 100 | round / 100),
     results_identical_across_job_counts: $identical,
+    results_identical_sharded_vs_jobs1: $shard_identical,
     worlds_executed: $j1[0].worlds_executed,
     worlds_naive: ($j1[0].points + $j1[0].baseline_requests),
     world_reduction_vs_naive:

@@ -43,6 +43,17 @@ class BaselineService {
 
   /// Memoization key: every RunConfig field a DRAM-only run's timing
   /// depends on (exposed for the key-coverage test).
+  ///
+  /// Shard stability: the key is a pure function of the requesting
+  /// point's RunConfig — never of engine state, request order, or which
+  /// process asks — and the baseline run itself is deterministic, so a
+  /// baseline computed independently in shard 0 of a multi-process sweep
+  /// is bitwise identical to the same key computed in shard 1.  Fields a
+  /// DRAM-only run cannot feel (policy, NVM ratios, dram_capacity,
+  /// manual placements, technique switches) are excluded so that e.g. a
+  /// fig4 manual-placement point and its nvm-only reference — possibly
+  /// living on different shards — resolve to the same key.  Asserted by
+  /// BaselineService.KeyIsShardStableAcrossPolicyVariants.
   static std::string key(const exp::RunConfig& cfg);
 
  private:

@@ -84,4 +84,33 @@ class SweepEngine {
   BaselineService* baselines_;
 };
 
+/// Multi-process topology: fork one child per shard, each running a
+/// SweepEngine over its round-robin shard_slice() of `points` and
+/// streaming results to `<scratch_dir>/shard-<i>.jsonl`, then stitch the
+/// shard files back into one point-ordered outcome in the parent.
+///
+/// Every child owns its whole address space (its own BaselineService —
+/// keys depend only on the point's RunConfig, so a baseline computed in
+/// shard 0 is bitwise identical to the same key computed in shard 1),
+/// which makes the merged rows byte-identical to a single-process
+/// `--jobs 1` run of the same points: asserted by the golden determinism
+/// tests and the sweep_shard_golden ctest.
+///
+/// Must be called before the process spawns any threads (fork() only
+/// replicates the calling thread).  `worlds_executed`/baseline counters
+/// are summed from per-shard sidecar files; `jobs_used` reports the sum
+/// over children.
+struct ShardedOptions {
+  int shards = 2;
+  /// Per-child engine options (jobs/ranks bound each child separately);
+  /// jobs <= 0 defaults to hardware_concurrency / shards so the children
+  /// together fill the host instead of oversubscribing it N-fold.
+  EngineOptions engine;
+  /// Directory for per-shard JSONL + sidecar files; must exist.
+  std::string scratch_dir;
+};
+
+SweepOutcome run_sharded_processes(const std::vector<SweepPoint>& points,
+                                   const ShardedOptions& opts);
+
 }  // namespace unimem::sweep

@@ -1,6 +1,10 @@
 #include "sweep/result_store.h"
 
 #include <algorithm>
+#include <cctype>
+#include <cstring>
+#include <fstream>
+#include <iterator>
 #include <stdexcept>
 
 namespace unimem::sweep {
@@ -97,6 +101,17 @@ void SweepResultStore::finish() {
     std::fclose(jsonl_);
     jsonl_ = nullptr;
   }
+  if (!jsonl_path_.empty()) {
+    std::FILE* f = std::fopen(jsonl_path_.c_str(), "w");
+    if (f == nullptr)
+      throw std::runtime_error("SweepResultStore: cannot open " + jsonl_path_);
+    for (const SweepRow& r : rows_) {
+      const std::string line = jsonl_line(r);
+      std::fputs(line.c_str(), f);
+      std::fputc('\n', f);
+    }
+    std::fclose(f);
+  }
   if (csv_path_.empty()) return;
   std::FILE* f = std::fopen(csv_path_.c_str(), "w");
   if (f == nullptr)
@@ -137,6 +152,160 @@ exp::Report SweepResultStore::report(const std::string& title) const {
                  r.ok ? "ok" : ("FAILED: " + r.error)});
   }
   return rep;
+}
+
+namespace {
+
+/// Strict sequential cursor over one jsonl_line()-formatted line.  The
+/// store always emits keys in a fixed order with no whitespace, so the
+/// parser can demand the exact byte shape and fail loudly on anything
+/// else (hand-edited or foreign JSON is not merge input).
+class LineCursor {
+ public:
+  explicit LineCursor(const std::string& line) : s_(line) {}
+
+  bool literal(const char* lit) {
+    const std::size_t n = std::strlen(lit);
+    if (s_.compare(pos_, n, lit) != 0) return false;
+    pos_ += n;
+    return true;
+  }
+
+  void expect(const char* lit) {
+    if (!literal(lit)) fail(std::string("expected '") + lit + "'");
+  }
+
+  /// A JSON string body up to the closing quote, json_escape inverted.
+  std::string string_body() {
+    std::string out;
+    while (pos_ < s_.size() && s_[pos_] != '"') {
+      char c = s_[pos_++];
+      if (c != '\\') {
+        out += c;
+        continue;
+      }
+      if (pos_ >= s_.size()) fail("dangling escape");
+      switch (s_[pos_++]) {
+        case '"': out += '"'; break;
+        case '\\': out += '\\'; break;
+        case 'n': out += '\n'; break;
+        case 't': out += '\t'; break;
+        case 'u': {
+          if (pos_ + 4 > s_.size()) fail("short \\u escape");
+          for (std::size_t i = 0; i < 4; ++i)
+            if (std::isxdigit(static_cast<unsigned char>(s_[pos_ + i])) == 0)
+              fail("non-hex \\u escape");
+          out += static_cast<char>(
+              std::strtoul(s_.substr(pos_, 4).c_str(), nullptr, 16));
+          pos_ += 4;
+          break;
+        }
+        default: fail("unknown escape");
+      }
+    }
+    expect("\"");
+    return out;
+  }
+
+  double number() {
+    char* end = nullptr;
+    const double v = std::strtod(s_.c_str() + pos_, &end);
+    if (end == s_.c_str() + pos_) fail("expected number");
+    pos_ = static_cast<std::size_t>(end - s_.c_str());
+    return v;
+  }
+
+  unsigned long long unsigned_int() {
+    char* end = nullptr;
+    const unsigned long long v = std::strtoull(s_.c_str() + pos_, &end, 10);
+    if (end == s_.c_str() + pos_) fail("expected integer");
+    pos_ = static_cast<std::size_t>(end - s_.c_str());
+    return v;
+  }
+
+  bool done() const { return pos_ == s_.size(); }
+
+  [[noreturn]] void fail(const std::string& why) const {
+    throw std::runtime_error("parse_jsonl_line: " + why + " at byte " +
+                             std::to_string(pos_) + " of: " + s_);
+  }
+
+ private:
+  const std::string& s_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+SweepRow parse_jsonl_line(const std::string& line) {
+  LineCursor c(line);
+  SweepRow row;
+  c.expect("{\"index\":");
+  row.index = static_cast<std::size_t>(c.unsigned_int());
+  c.expect(",\"label\":\"");
+  row.label = c.string_body();
+  c.expect(",\"axis\":{");
+  while (!c.literal("}")) {
+    if (!row.axis.empty()) c.expect(",");
+    c.expect("\"");
+    const std::string key = c.string_body();
+    c.expect(":\"");
+    row.axis[key] = c.string_body();
+  }
+  c.expect(",\"ok\":");
+  row.ok = c.literal("true");
+  if (!row.ok) c.expect("false");
+  if (c.literal(",\"error\":\"")) row.error = c.string_body();
+  c.expect(",\"time_s\":");
+  row.result.time_s = c.number();
+  c.expect(",\"checksum\":");
+  row.result.checksum = c.number();
+  if (c.literal(",\"baseline_time_s\":")) {
+    row.baseline_time_s = c.number();
+    c.expect(",\"normalized\":");
+    row.normalized = c.number();
+  }
+  c.expect(",\"migrations\":");
+  row.result.total_migrations = c.unsigned_int();
+  c.expect(",\"bytes_moved\":");
+  row.result.total_bytes_moved = c.unsigned_int();
+  c.expect(",\"overhead_pct\":");
+  row.result.mean_overhead_percent = c.number();
+  c.expect(",\"overlap_pct\":");
+  row.result.mean_overlap_percent = c.number();
+  c.expect("}");
+  if (!c.done()) c.fail("trailing bytes");
+  return row;
+}
+
+std::vector<SweepRow> read_jsonl(const std::string& path) {
+  std::ifstream in(path);
+  if (!in.good()) throw std::runtime_error("read_jsonl: cannot open " + path);
+  std::vector<SweepRow> rows;
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    rows.push_back(parse_jsonl_line(line));
+  }
+  return rows;
+}
+
+std::vector<SweepRow> merge_shards(const std::vector<std::string>& paths) {
+  std::vector<SweepRow> rows;
+  for (const std::string& p : paths) {
+    std::vector<SweepRow> shard = read_jsonl(p);
+    rows.insert(rows.end(), std::make_move_iterator(shard.begin()),
+                std::make_move_iterator(shard.end()));
+  }
+  std::sort(rows.begin(), rows.end(),
+            [](const SweepRow& a, const SweepRow& b) { return a.index < b.index; });
+  for (std::size_t i = 1; i < rows.size(); ++i)
+    if (rows[i].index == rows[i - 1].index)
+      throw std::runtime_error(
+          "merge_shards: duplicate point index " +
+          std::to_string(rows[i].index) +
+          " (inputs are overlapping shard runs, not a partition)");
+  return rows;
 }
 
 const SweepRow* find_row(const std::vector<SweepRow>& rows,

@@ -36,6 +36,11 @@ class SweepResultStore {
   /// Write the full table as CSV at finish().
   void write_csv_at_finish(const std::string& path) { csv_path_ = path; }
 
+  /// Write the rows as JSONL in point order at finish() — unlike the
+  /// streaming file (completion order), this artifact is byte-identical
+  /// across job counts and execution topologies.
+  void write_jsonl_at_finish(const std::string& path) { jsonl_path_ = path; }
+
   /// Record one completed row (thread-safety is provided by the engine,
   /// which serializes on_result calls).
   void add(const SweepRow& row);
@@ -55,9 +60,29 @@ class SweepResultStore {
  private:
   std::vector<SweepRow> rows_;
   std::string csv_path_;
+  std::string jsonl_path_;
   std::FILE* jsonl_ = nullptr;
   bool finished_ = false;
 };
+
+/// Inverse of SweepResultStore::jsonl_line: reconstruct a SweepRow from
+/// one line of the store's own JSONL output.  Exact round-trip —
+/// jsonl_line(parse_jsonl_line(l)) == l — because doubles are serialized
+/// with %.17g (shortest exact form round-trips through strtod) and axis
+/// maps serialize in sorted key order.  Only accepts the store's own
+/// format; throws std::runtime_error on malformed input.
+SweepRow parse_jsonl_line(const std::string& line);
+
+/// Read every row of a SweepResultStore JSONL file (any order); throws
+/// std::runtime_error when the file cannot be opened or a line is
+/// malformed.
+std::vector<SweepRow> read_jsonl(const std::string& path);
+
+/// Stitch per-shard JSONL files back into one point-ordered row list.
+/// The shards of one expansion partition it exactly, so duplicate point
+/// indices across files mean mismatched shard runs — rejected with
+/// std::runtime_error rather than silently merged.
+std::vector<SweepRow> merge_shards(const std::vector<std::string>& paths);
 
 /// First row whose axis contains every (key, value) in `where`; nullptr
 /// when none matches.  The pivot helper the ported figure harnesses use

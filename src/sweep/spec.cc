@@ -3,6 +3,11 @@
 #include <algorithm>
 #include <cstdio>
 #include <cstdlib>
+#include <stdexcept>
+#include <unordered_map>
+#include <utility>
+
+#include "sweep/baseline_cache.h"
 
 namespace unimem::sweep {
 
@@ -131,6 +136,7 @@ std::vector<SweepPoint> SweepSpec::expand(const std::string& filter) const {
     p.label = e.label;
     p.axis["workload"] = e.cfg.workload;
     p.axis["policy"] = policy_slug(e.cfg.policy);
+    for (const auto& [k, v] : e.axis) p.axis[k] = v;
     p.cfg = e.cfg;
     p.normalize = e.normalize;
     emit(p);
@@ -139,6 +145,31 @@ std::vector<SweepPoint> SweepSpec::expand(const std::string& filter) const {
 }
 
 std::size_t SweepSpec::size() const { return expand().size(); }
+
+std::vector<SweepPoint> shard_slice(const std::vector<SweepPoint>& points,
+                                    int shard, int nshards) {
+  if (nshards < 1 || shard < 0 || shard >= nshards)
+    throw std::invalid_argument("shard_slice: need 0 <= shard < nshards");
+  // Deal whole baseline groups — points sharing BaselineService::key,
+  // i.e. one memoized DRAM-only run — round-robin in first-seen order, so
+  // the per-process caches of a sharded sweep never recompute a neighbor
+  // shard's baseline (fig12's nvm-only and unimem rows of one rank count
+  // stay together).  When shards outnumber groups that rule would leave
+  // shards idle, so fall back to per-point round-robin there.
+  std::unordered_map<std::string, std::size_t> group_of;
+  std::vector<std::size_t> group(points.size());
+  for (std::size_t i = 0; i < points.size(); ++i)
+    group[i] =
+        group_of.emplace(BaselineService::key(points[i].cfg), group_of.size())
+            .first->second;
+  const bool by_group = group_of.size() >= static_cast<std::size_t>(nshards);
+  std::vector<SweepPoint> out;
+  for (std::size_t i = 0; i < points.size(); ++i)
+    if ((by_group ? group[i] : i) % static_cast<std::size_t>(nshards) ==
+        static_cast<std::size_t>(shard))
+      out.push_back(points[i]);
+  return out;
+}
 
 SweepSpec smoke_clamped(SweepSpec spec) {
   spec.cls = 'S';
@@ -189,6 +220,52 @@ SweepSpec make_spec(const std::string& name) {
     s.policies = {exp::Policy::kNvmOnly};
     s.nvm_bw_ratios = {1.0};
     s.nvm_lat_mults = {2.0, 4.0, 8.0};
+  } else if (name == "fig4") {
+    // Explicit-only spec (paper Observation 3): per-point manual DRAM
+    // placements on SP, two input classes x two NVM configurations.  The
+    // DRAM-only reference row is the normalization baseline itself, so it
+    // is not a point; the harness prints it as the constant 1.00.
+    s.title = "Fig. 4: SP per-object placement";
+    s.workloads = {};
+    struct NvmCfg {
+      const char* slug;
+      double bw, lat;
+    };
+    const NvmCfg nvms[] = {{"bw0.5", 0.5, 1.0}, {"lat4", 1.0, 4.0}};
+    const std::pair<const char*, std::vector<std::string>> sets[] = {
+        {"in+out", {"in_buffer", "out_buffer"}},
+        {"lhs", {"lhs"}},
+        {"rhs", {"rhs"}},
+    };
+    for (char cls : {'C', 'D'}) {
+      for (const NvmCfg& n : nvms) {
+        exp::RunConfig base;
+        base.workload = "sp";
+        base.wcfg.cls = cls;
+        base.nvm_bw_ratio = n.bw;
+        base.nvm_lat_mult = n.lat;
+        const std::map<std::string, std::string> axis{
+            {"cls", std::string(1, cls)}, {"nvm", n.slug}};
+        for (const auto& [slug, names] : sets) {
+          SweepSpec::ExplicitPoint e;
+          e.cfg = base;
+          e.cfg.policy = exp::Policy::kManual;
+          e.cfg.manual_dram = names;
+          e.label =
+              std::string("sp/manual/cls") + cls + "/" + n.slug + "/" + slug;
+          e.axis = axis;
+          e.axis["placement"] = slug;
+          s.explicit_points.push_back(std::move(e));
+        }
+        SweepSpec::ExplicitPoint e;
+        e.cfg = base;
+        e.cfg.policy = exp::Policy::kNvmOnly;
+        e.label = std::string("sp/nvm-only/cls") + cls + "/" + n.slug;
+        e.axis = axis;
+        e.axis["placement"] = "nvm-only";
+        s.explicit_points.push_back(std::move(e));
+      }
+    }
   } else if (name == "fig9") {
     s.title = "Fig. 9: policies at NVM = 1/2 DRAM bandwidth";
     s.workloads = npb(true);
@@ -206,11 +283,41 @@ SweepSpec make_spec(const std::string& name) {
     s.workloads = npb(true);
     s.policies = {exp::Policy::kNvmOnly, exp::Policy::kUnimem};
     s.techniques = cumulative_techniques();
+  } else if (name == "fig12") {
+    // Explicit-only spec: CG strong scaling varies `nranks` per row
+    // (2/4/8/16), NUMA-emulated NVM (0.6x bandwidth, 1.89x latency).
+    // Each rank count gets its own DRAM-only baseline via the normal
+    // normalization path (the BaselineService key includes nranks).
+    s.title = "Fig. 12: CG strong scaling, NUMA-emulated NVM";
+    s.workloads = {};
+    for (int ranks : {2, 4, 8, 16}) {
+      for (exp::Policy pol : {exp::Policy::kNvmOnly, exp::Policy::kUnimem}) {
+        SweepSpec::ExplicitPoint e;
+        e.cfg.workload = "cg";
+        e.cfg.wcfg.cls = 'D';
+        e.cfg.wcfg.nranks = ranks;
+        e.cfg.nvm_bw_ratio = 0.60;  // the paper's NUMA emulation
+        e.cfg.nvm_lat_mult = 1.89;
+        e.cfg.policy = pol;
+        e.label = std::string("cg/") +
+                  (pol == exp::Policy::kNvmOnly ? "nvm-only" : "unimem") +
+                  "/r" + std::to_string(ranks);
+        e.axis["ranks"] = std::to_string(ranks);
+        s.explicit_points.push_back(std::move(e));
+      }
+    }
   } else if (name == "fig13") {
     s.title = "Fig. 13: Unimem vs DRAM size at NVM = 1/2 bandwidth";
     s.workloads = npb(true);
     s.policies = {exp::Policy::kNvmOnly, exp::Policy::kUnimem};
     s.dram_capacities = {4 * kMiB, 8 * kMiB, 16 * kMiB};
+  } else if (name == "table4") {
+    // Raw migration statistics (not normalized): one Unimem point per
+    // workload at NVM = 1/2 bandwidth; the harness reads the row's
+    // RunResult stats directly.
+    s.title = "Table 4: migration details at NVM = 1/2 DRAM bandwidth";
+    s.workloads = npb(true);
+    s.normalize = false;
   }
   return s;
 }
@@ -218,7 +325,8 @@ SweepSpec make_spec(const std::string& name) {
 }  // namespace
 
 std::vector<std::string> spec_names() {
-  return {"fig2", "fig3", "fig9", "fig10", "fig11", "fig13"};
+  return {"fig2",  "fig3",  "fig4",  "fig9",  "fig10",
+          "fig11", "fig12", "fig13", "table4"};
 }
 
 std::optional<SweepSpec> spec_by_name(const std::string& name) {

@@ -72,11 +72,17 @@ struct SweepSpec {
   bool normalize = true;
 
   /// Explicit points appended after the grid (label -> config), for
-  /// sweeps that are not cartesian (e.g. Fig. 4's manual placements).
+  /// sweeps that are not cartesian: Fig. 4 varies `manual_dram` per row,
+  /// Fig. 12 varies `nranks`.  Each point carries its own full RunConfig,
+  /// so any per-point field variation works, plus extra axis values (the
+  /// pivot keys) merged over the automatic "workload"/"policy" entries.
+  /// A spec may be explicit-only: set `workloads = {}` to suppress the
+  /// grid entirely.
   struct ExplicitPoint {
     std::string label;
     exp::RunConfig cfg;
     bool normalize = true;
+    std::map<std::string, std::string> axis;
   };
   std::vector<ExplicitPoint> explicit_points;
 
@@ -88,6 +94,19 @@ struct SweepSpec {
   /// Total point count of the unfiltered expansion.
   std::size_t size() const;
 };
+
+/// Deterministic shard slice, original order and indices preserved.  The
+/// N slices of an expansion partition it exactly (no overlap, no gap),
+/// so N processes each running `shard_slice(expand(), i, N)` together
+/// cover the spec once.  Assignment is a pure function of the point
+/// list: whole baseline groups (points sharing a BaselineService::key)
+/// are dealt round-robin so each shard's private baseline cache computes
+/// its DRAM-only runs exactly once across the whole fleet; when shards
+/// outnumber baseline groups, individual points are dealt round-robin
+/// instead so no shard sits idle.  Throws std::invalid_argument unless
+/// 0 <= shard < nshards.
+std::vector<SweepPoint> shard_slice(const std::vector<SweepPoint>& points,
+                                    int shard, int nshards);
 
 /// Shrink a spec to smoke scale (class S, <=3 iterations, <=2 ranks) —
 /// the SweepSpec twin of bench::smoke().  Applied by the CLI and the

@@ -105,13 +105,169 @@ TEST(SweepSpec, SmokeClampShrinksTheProblem) {
   EXPECT_EQ(clamped.size(), s.size()) << "smoke shrinks points, not the grid";
 }
 
+TEST(SweepSpec, SmokeClampAlsoClampsExplicitPoints) {
+  // The explicit-points specs carry per-point configs (fig4's manual
+  // placements, fig12's 16-rank rows) that bypass the spec-level scalars;
+  // the smoke clamp must reach into each of them or sweep-smoke runs the
+  // full problem.
+  for (const char* name : {"fig4", "fig12"}) {
+    SweepSpec clamped = smoke_clamped(*spec_by_name(name));
+    ASSERT_FALSE(clamped.explicit_points.empty()) << name;
+    for (const auto& e : clamped.explicit_points) {
+      EXPECT_EQ(e.cfg.wcfg.cls, 'S') << e.label;
+      EXPECT_LE(e.cfg.wcfg.iterations, 3) << e.label;
+      EXPECT_LE(e.cfg.wcfg.nranks, 2) << e.label;
+    }
+    EXPECT_EQ(clamped.size(), spec_by_name(name)->size())
+        << "smoke shrinks points, not the table shape";
+  }
+}
+
 TEST(SweepSpec, EveryRegisteredSpecExpands) {
+  EXPECT_EQ(spec_names().size(), 9u);
   for (const std::string& name : spec_names()) {
     auto s = spec_by_name(name);
     ASSERT_TRUE(s.has_value()) << name;
-    EXPECT_GE(s->size(), 18u) << name;
+    // Smallest real figure sweep is table4's 7 Unimem points.
+    EXPECT_GE(s->size(), 7u) << name;
   }
   EXPECT_FALSE(spec_by_name("no-such-spec").has_value());
+}
+
+TEST(SweepSpec, ExplicitPointsAppendAfterGridWithUniqueLabels) {
+  SweepSpec s = tiny_spec();  // 4 grid points
+  SweepSpec::ExplicitPoint e;
+  e.cfg.workload = "mg";
+  e.cfg.wcfg.cls = 'S';
+  e.cfg.policy = exp::Policy::kManual;
+  e.cfg.manual_dram = {"u"};
+  e.label = "mg/manual/extra1";
+  e.axis = {{"placement", "u"}, {"policy", "overridden"}};
+  s.explicit_points.push_back(e);
+  e.label = "mg/manual/extra2";
+  e.axis = {{"placement", "v"}};
+  s.explicit_points.push_back(e);
+
+  const auto points = s.expand();
+  ASSERT_EQ(points.size(), 6u);
+  for (std::size_t i = 0; i < points.size(); ++i)
+    EXPECT_EQ(points[i].index, i) << "explicit indices continue the grid's";
+  std::set<std::string> labels;
+  for (const auto& p : points) labels.insert(p.label);
+  EXPECT_EQ(labels.size(), points.size()) << "labels must be unique";
+
+  // Explicit points land after every grid point, carry their full config,
+  // and merge custom axis values over the automatic workload/policy keys.
+  const SweepPoint& x = points[4];
+  EXPECT_EQ(x.label, "mg/manual/extra1");
+  EXPECT_EQ(x.cfg.workload, "mg");
+  EXPECT_EQ(x.cfg.manual_dram, std::vector<std::string>{"u"});
+  EXPECT_EQ(x.axis.at("workload"), "mg");
+  EXPECT_EQ(x.axis.at("placement"), "u");
+  EXPECT_EQ(x.axis.at("policy"), "overridden") << "custom axis wins";
+  EXPECT_EQ(points[5].axis.at("policy"), "manual") << "auto key by default";
+}
+
+TEST(SweepSpec, Fig4SpecVariesManualPlacementsPerPoint) {
+  SweepSpec s = *spec_by_name("fig4");
+  const auto points = s.expand();
+  // {C,D} x {bw0.5,lat4} x (3 placements + nvm-only), explicit-only.
+  ASSERT_EQ(points.size(), 16u);
+  EXPECT_TRUE(s.workloads.empty()) << "no grid points";
+  std::size_t manual = 0;
+  for (const auto& p : points) {
+    EXPECT_EQ(p.cfg.workload, "sp");
+    EXPECT_TRUE(p.normalize);
+    ASSERT_TRUE(p.axis.count("cls") && p.axis.count("nvm") &&
+                p.axis.count("placement"))
+        << p.label;
+    if (p.axis.at("policy") == "manual") {
+      ++manual;
+      EXPECT_FALSE(p.cfg.manual_dram.empty()) << p.label;
+    } else {
+      EXPECT_EQ(p.axis.at("policy"), "nvm-only");
+      EXPECT_TRUE(p.cfg.manual_dram.empty()) << p.label;
+    }
+  }
+  EXPECT_EQ(manual, 12u);
+}
+
+TEST(SweepSpec, Fig12SpecVariesRanksPerPoint) {
+  SweepSpec s = *spec_by_name("fig12");
+  const auto points = s.expand();
+  ASSERT_EQ(points.size(), 8u);
+  std::set<int> ranks;
+  for (const auto& p : points) {
+    EXPECT_EQ(p.cfg.workload, "cg");
+    EXPECT_EQ(p.cfg.wcfg.cls, 'D');
+    EXPECT_EQ(p.axis.at("ranks"), std::to_string(p.cfg.wcfg.nranks));
+    ranks.insert(p.cfg.wcfg.nranks);
+  }
+  EXPECT_EQ(ranks, (std::set<int>{2, 4, 8, 16}));
+}
+
+TEST(SweepSpec, FilterKeepsOriginalIndicesForExplicitPoints) {
+  SweepSpec s = *spec_by_name("fig4");
+  const auto all = s.expand();
+  const auto filtered = s.expand("/lhs");
+  ASSERT_EQ(filtered.size(), 4u);  // one per (cls, nvm) group
+  for (const auto& p : filtered) {
+    EXPECT_NE(p.label.find("/lhs"), std::string::npos);
+    EXPECT_EQ(all[p.index].label, p.label) << "index survives filtering";
+  }
+}
+
+TEST(SweepSpec, ShardSlicesPartitionTheExpansionExactly) {
+  for (const char* name : {"fig4", "fig12", "fig13", "table4"}) {
+    const auto all = spec_by_name(name)->expand();
+    for (int n : {1, 2, 3, 4, 7, 16}) {
+      std::vector<std::size_t> seen;
+      for (int i = 0; i < n; ++i) {
+        const auto slice = shard_slice(all, i, n);
+        std::size_t prev_index = 0;
+        for (std::size_t k = 0; k < slice.size(); ++k) {
+          // Slices preserve expansion order and original indices/labels.
+          if (k > 0) {
+            EXPECT_GT(slice[k].index, prev_index);
+          }
+          prev_index = slice[k].index;
+          EXPECT_EQ(all[slice[k].index].label, slice[k].label);
+          seen.push_back(slice[k].index);
+        }
+      }
+      // No overlap, no gap: the N slices are exactly the expansion.
+      std::sort(seen.begin(), seen.end());
+      ASSERT_EQ(seen.size(), all.size()) << name << " N=" << n;
+      for (std::size_t k = 0; k < seen.size(); ++k)
+        EXPECT_EQ(seen[k], all[k].index);
+    }
+  }
+  const auto all = spec_by_name("fig12")->expand();
+  EXPECT_THROW(shard_slice(all, 0, 0), std::invalid_argument);
+  EXPECT_THROW(shard_slice(all, -1, 2), std::invalid_argument);
+  EXPECT_THROW(shard_slice(all, 2, 2), std::invalid_argument);
+}
+
+TEST(SweepSpec, ShardSlicesKeepBaselineGroupsTogether) {
+  // As long as there are at least as many baseline groups as shards,
+  // every group lands whole on one shard, so no shard recomputes a
+  // neighbor's DRAM-only baseline (fig12: the nvm-only and unimem rows
+  // of one rank count travel together).
+  const auto all = spec_by_name("fig12")->expand();
+  for (int n : {2, 4}) {
+    std::map<std::string, int> shard_of_key;
+    for (int i = 0; i < n; ++i)
+      for (const auto& p : shard_slice(all, i, n)) {
+        const std::string key = BaselineService::key(p.cfg);
+        auto [it, fresh] = shard_of_key.emplace(key, i);
+        EXPECT_EQ(it->second, i) << p.label << " split its baseline group";
+      }
+    EXPECT_EQ(shard_of_key.size(), 4u) << "one group per rank count";
+  }
+  // More shards than groups: falls back to per-point dealing so shards
+  // do not sit idle (fig12 has 4 groups; 8 shards still all get a point).
+  for (int i = 0; i < 8; ++i)
+    EXPECT_EQ(shard_slice(all, i, 8).size(), 1u);
 }
 
 // ---- baseline service -----------------------------------------------------
@@ -148,6 +304,26 @@ TEST(BaselineService, KeyCoversTimingFieldsAndIgnoresNvmAxes) {
   EXPECT_TRUE(
       differs([](exp::RunConfig& c) { c.unimem.cache.size_bytes = 1 << 19; }));
   EXPECT_TRUE(differs([](exp::RunConfig& c) { c.unimem.use_exact_cache = true; }));
+}
+
+TEST(BaselineService, KeyIsShardStableAcrossPolicyVariants) {
+  // Shard stability: every point of a figure group must resolve to the
+  // same baseline key no matter which shard (process) computes it, so
+  // normalization never depends on the expansion's partition.  fig4: a
+  // manual-placement point and its nvm-only reference share one key;
+  // fig12: the nvm-only and unimem points of one rank count share one
+  // key, and different rank counts do not.
+  const auto fig4 = spec_by_name("fig4")->expand();
+  ASSERT_EQ(fig4.size(), 16u);
+  for (std::size_t i = 1; i < 4; ++i)
+    EXPECT_EQ(BaselineService::key(fig4[i].cfg), BaselineService::key(fig4[0].cfg))
+        << fig4[i].label;
+
+  const auto fig12 = spec_by_name("fig12")->expand();
+  ASSERT_EQ(fig12.size(), 8u);
+  EXPECT_EQ(BaselineService::key(fig12[0].cfg), BaselineService::key(fig12[1].cfg));
+  EXPECT_NE(BaselineService::key(fig12[0].cfg), BaselineService::key(fig12[2].cfg))
+      << "distinct rank counts need distinct baselines";
 }
 
 TEST(BaselineService, SingleFlightUnderConcurrentRequests) {
@@ -343,6 +519,85 @@ TEST(SweepEngine, DeterministicWithExactCacheAndTightDram) {
   }
 }
 
+// ---- golden determinism across execution topologies -----------------------
+
+namespace {
+
+std::string slurp(const std::string& path) {
+  std::ifstream in(path);
+  EXPECT_TRUE(in.good()) << path;
+  std::stringstream ss;
+  ss << in.rdbuf();
+  return ss.str();
+}
+
+/// Run `points` through one engine into CSV + point-ordered JSONL files;
+/// returns {csv, jsonl} contents.
+std::pair<std::string, std::string> run_to_files(
+    const std::vector<SweepPoint>& points, int jobs, const std::string& tag) {
+  const std::string dir = ::testing::TempDir();
+  const std::string csv = dir + "/golden_" + tag + ".csv";
+  const std::string jsonl = dir + "/golden_" + tag + ".jsonl";
+  SweepResultStore store;
+  store.write_csv_at_finish(csv);
+  store.write_jsonl_at_finish(jsonl);
+  EngineOptions opts;
+  opts.jobs = jobs;
+  opts.on_result = [&](const SweepRow& row) { store.add(row); };
+  SweepEngine engine(opts);
+  engine.run(points);
+  store.finish();
+  return {slurp(csv), slurp(jsonl)};
+}
+
+}  // namespace
+
+// The archetype headline: PR 3's determinism invariant as a ctest, not a
+// promise.  The fig12 and fig4 specs (explicit points with per-point
+// nranks / manual_dram) run three ways — serial, 4-way threaded, and as a
+// 2-way shard partition whose JSONL halves are merged back — and all
+// three must produce byte-identical CSV/JSONL artifacts.
+TEST(SweepGoldenDeterminism, Fig12AndFig4AcrossJobsAndShards) {
+  for (const char* name : {"fig12", "fig4"}) {
+    SCOPED_TRACE(name);
+    const SweepSpec spec = smoke_clamped(*spec_by_name(name));
+    const auto points = spec.expand();
+
+    const auto [csv1, jsonl1] = run_to_files(points, 1, std::string(name) + "_j1");
+    const auto [csv4, jsonl4] = run_to_files(points, 4, std::string(name) + "_j4");
+    EXPECT_EQ(csv1, csv4);
+    EXPECT_EQ(jsonl1, jsonl4);
+
+    // 2-way sharded: each shard gets its own engine AND its own baseline
+    // service (as separate processes would), streams its slice to JSONL;
+    // the merge stitches the halves back into point order.
+    const std::string dir = ::testing::TempDir();
+    std::vector<std::string> shard_files;
+    for (int shard = 0; shard < 2; ++shard) {
+      const std::string path = dir + "/golden_" + name + "_shard" +
+                               std::to_string(shard) + ".jsonl";
+      SweepResultStore store;
+      store.stream_jsonl(path);
+      EngineOptions opts;
+      opts.jobs = 2;
+      opts.on_result = [&](const SweepRow& row) { store.add(row); };
+      SweepEngine engine(opts);
+      engine.run(shard_slice(points, shard, 2));
+      store.finish();
+      shard_files.push_back(path);
+    }
+    const std::string csv_m = dir + "/golden_" + name + "_merged.csv";
+    const std::string jsonl_m = dir + "/golden_" + name + "_merged.jsonl";
+    SweepResultStore merged;
+    merged.write_csv_at_finish(csv_m);
+    merged.write_jsonl_at_finish(jsonl_m);
+    for (const SweepRow& r : merge_shards(shard_files)) merged.add(r);
+    merged.finish();
+    EXPECT_EQ(csv1, slurp(csv_m));
+    EXPECT_EQ(jsonl1, slurp(jsonl_m));
+  }
+}
+
 // ---- result store ---------------------------------------------------------
 
 SweepRow make_row(std::size_t index, bool ok) {
@@ -398,6 +653,93 @@ TEST(SweepResultStore, StreamsJsonlAndWritesSortedCsv) {
   EXPECT_EQ(csv_lines[3].rfind("2,", 0), 0u);
   // The failed row's error was sanitized into a single record.
   EXPECT_EQ(std::count(csv_lines[2].begin(), csv_lines[2].end(), ','), 11);
+}
+
+TEST(SweepResultStore, JsonlRoundTripsExactly) {
+  // parse_jsonl_line is the merge path's foundation: every row shape the
+  // store can emit must reconstruct bit-identically (doubles included —
+  // %.17g round-trips through strtod) and re-serialize to the same bytes.
+  SweepRow normalized = make_row(3, true);
+  SweepRow failed = make_row(7, false);  // error with escaped quotes
+  failed.error += "\nsecond line\tand tab";
+  SweepRow raw = make_row(0, true);  // no baseline -> fields omitted
+  raw.baseline_time_s = 0;
+  raw.normalized = 0;
+  raw.axis.clear();
+  for (const SweepRow& r : {normalized, failed, raw}) {
+    const std::string line = SweepResultStore::jsonl_line(r);
+    const SweepRow back = parse_jsonl_line(line);
+    EXPECT_EQ(back.index, r.index);
+    EXPECT_EQ(back.label, r.label);
+    EXPECT_EQ(back.axis, r.axis);
+    EXPECT_EQ(back.ok, r.ok);
+    EXPECT_EQ(back.error, r.error);
+    EXPECT_EQ(back.result.time_s, r.result.time_s);
+    EXPECT_EQ(back.result.checksum, r.result.checksum);
+    EXPECT_EQ(back.baseline_time_s, r.baseline_time_s);
+    EXPECT_EQ(back.normalized, r.normalized);
+    EXPECT_EQ(SweepResultStore::jsonl_line(back), line) << "byte round-trip";
+  }
+  EXPECT_THROW(parse_jsonl_line(""), std::runtime_error);
+  EXPECT_THROW(parse_jsonl_line("{\"index\":oops"), std::runtime_error);
+  EXPECT_THROW(
+      parse_jsonl_line(SweepResultStore::jsonl_line(raw) + "trailing"),
+      std::runtime_error);
+}
+
+TEST(SweepResultStore, FailureRowsStreamMergeAndStayPointOrdered) {
+  // A point whose run throws must still produce a well-formed JSONL
+  // record that survives the shard merge, and the merged CSV must keep
+  // the failed row at its point position.
+  SweepSpec s = tiny_spec();
+  s.workloads = {"cg", "bogus", "ft"};  // point 1 of 3 fails
+  s.policies = {exp::Policy::kNvmOnly};
+  s.normalize = false;
+  const auto points = s.expand();
+  ASSERT_EQ(points.size(), 3u);
+
+  const std::string dir = ::testing::TempDir();
+  std::vector<std::string> shard_files;
+  for (int shard = 0; shard < 2; ++shard) {
+    const std::string path =
+        dir + "/failrow_shard" + std::to_string(shard) + ".jsonl";
+    SweepResultStore store;
+    store.stream_jsonl(path);
+    EngineOptions opts;
+    opts.jobs = 2;
+    opts.on_result = [&](const SweepRow& row) { store.add(row); };
+    SweepEngine engine(opts);
+    engine.run(shard_slice(points, shard, 2));
+    store.finish();
+    shard_files.push_back(path);
+  }
+
+  const std::vector<SweepRow> rows = merge_shards(shard_files);
+  ASSERT_EQ(rows.size(), 3u);
+  for (std::size_t i = 0; i < rows.size(); ++i)
+    EXPECT_EQ(rows[i].index, i) << "merged rows are point-ordered";
+  EXPECT_TRUE(rows[0].ok);
+  EXPECT_FALSE(rows[1].ok);
+  EXPECT_NE(rows[1].error.find("unknown workload"), std::string::npos);
+  EXPECT_TRUE(rows[2].ok);
+
+  const std::string csv_path = dir + "/failrow_merged.csv";
+  SweepResultStore merged;
+  merged.write_csv_at_finish(csv_path);
+  for (const SweepRow& r : rows) merged.add(r);
+  merged.finish();
+  std::ifstream cf(csv_path);
+  ASSERT_TRUE(cf.good());
+  std::string line;
+  std::vector<std::string> csv_lines;
+  while (std::getline(cf, line)) csv_lines.push_back(line);
+  ASSERT_EQ(csv_lines.size(), 4u);
+  EXPECT_EQ(csv_lines[2].rfind("1,", 0), 0u) << "failed row keeps its slot";
+  EXPECT_NE(csv_lines[2].find(",0,"), std::string::npos);  // ok=0
+
+  // Overlapping shard inputs (not a partition) are rejected loudly.
+  EXPECT_THROW(merge_shards({shard_files[0], shard_files[0]}),
+               std::runtime_error);
 }
 
 TEST(SweepResultStore, FindRowMatchesAxisSubsets) {

@@ -5,18 +5,31 @@
 //   unimem_sweep --spec fig2 --filter cg --points
 //   unimem_sweep --spec fig11 --jobs 4 --csv out.csv --jsonl out.jsonl
 //                [--summary-json summary.json]
+//   unimem_sweep --spec fig12 --shards 4            # fork 4 shard children
+//   unimem_sweep --spec fig12 --shard 0/2 --jsonl s0.jsonl   # one slice
+//   unimem_sweep --merge s0.jsonl s1.jsonl --csv merged.csv  # stitch back
 //
 // Runs a named SweepSpec through the SweepEngine: one World per point,
 // concurrency bounded by simulated ranks in flight, DRAM-only
 // normalization baselines memoized across the whole batch, results
 // reported in deterministic spec order.  UNIMEM_BENCH_SMOKE=1 (or
 // --smoke) shrinks the spec to smoke scale, same as the bench harnesses.
+//
+// Sharding: `--shard i/N` runs the i-th deterministic slice of the
+// expansion (point indices stay those of the full expansion), `--merge`
+// stitches per-shard JSONL files back into the point-ordered CSV/JSONL,
+// and `--shards N` does both in one invocation by forking N child
+// processes.  Every topology produces byte-identical CSV/JSONL to a
+// single-process `--jobs 1` run (asserted by the sweep_shard_golden
+// ctest).
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <exception>
+#include <filesystem>
 #include <string>
 #include <thread>
+#include <vector>
 
 #include "sweep/engine.h"
 #include "sweep/result_store.h"
@@ -38,6 +51,10 @@ void usage(std::FILE* out) {
       "  --csv PATH           write the result table as CSV\n"
       "  --jsonl PATH         stream per-point results as JSONL\n"
       "  --summary-json PATH  write a machine-readable batch summary\n"
+      "  --shard I/N          run only the I-th of N deterministic shard slices\n"
+      "  --shards N           fork N shard child processes and merge their rows\n"
+      "  --merge FILE...      stitch per-shard JSONL files into --csv/--jsonl\n"
+      "                       (with --spec: verify the merge covers the spec)\n"
       "  --smoke              clamp to smoke scale (same as UNIMEM_BENCH_SMOKE=1)\n"
       "  --quiet              suppress the stdout table\n",
       out);
@@ -47,9 +64,13 @@ struct Args {
   std::string spec;
   std::string filter;
   std::string csv, jsonl, summary_json;
+  std::vector<std::string> merge_inputs;
   int jobs = 0;
   int ranks = 0;
+  int shard = -1, nshards = 0;  ///< --shard I/N
+  int fork_shards = 0;          ///< --shards N
   bool list = false, points = false, smoke = false, quiet = false;
+  bool merge = false;
 };
 
 bool parse(int argc, char** argv, Args& a) {
@@ -101,10 +122,46 @@ bool parse(int argc, char** argv, Args& a) {
       const char* v = value("--ranks");
       if (v == nullptr) return false;
       a.ranks = std::atoi(v);
+    } else if (arg == "--shard") {
+      const char* v = value("--shard");
+      if (v == nullptr) return false;
+      if (std::sscanf(v, "%d/%d", &a.shard, &a.nshards) != 2 || a.shard < 0 ||
+          a.nshards < 1 || a.shard >= a.nshards) {
+        std::fprintf(stderr,
+                     "unimem_sweep: --shard wants I/N with 0 <= I < N "
+                     "(got '%s')\n",
+                     v);
+        return false;
+      }
+    } else if (arg == "--shards") {
+      const char* v = value("--shards");
+      if (v == nullptr) return false;
+      a.fork_shards = std::atoi(v);
+      if (a.fork_shards < 1) {
+        std::fprintf(stderr, "unimem_sweep: --shards wants N >= 1 (got '%s')\n",
+                     v);
+        return false;
+      }
+    } else if (arg == "--merge") {
+      a.merge = true;
+    } else if (a.merge && !arg.empty() && arg[0] != '-') {
+      a.merge_inputs.push_back(arg);
     } else {
       std::fprintf(stderr, "unimem_sweep: unknown option '%s'\n", arg.c_str());
       return false;
     }
+  }
+  if (a.merge && a.merge_inputs.empty()) {
+    std::fprintf(stderr, "unimem_sweep: --merge needs shard JSONL files\n");
+    return false;
+  }
+  if (a.merge && (a.shard >= 0 || a.fork_shards > 0)) {
+    std::fprintf(stderr, "unimem_sweep: --merge excludes --shard/--shards\n");
+    return false;
+  }
+  if (a.shard >= 0 && a.fork_shards > 0) {
+    std::fprintf(stderr, "unimem_sweep: pick one of --shard or --shards\n");
+    return false;
   }
   return true;
 }
@@ -140,6 +197,60 @@ int run_cli(int argc, char** argv) {
     return 0;
   }
 
+  if (a.merge) {
+    // Offline mode: no worlds run; per-shard JSONL rows are stitched back
+    // into the point-ordered table (byte-identical to a single-process
+    // run's outputs, since every row round-trips exactly).
+    const std::vector<sweep::SweepRow> rows =
+        sweep::merge_shards(a.merge_inputs);
+    // merge_shards rejects overlapping shards; missing ones it cannot
+    // tell from a filtered run, so cross-check against the spec when
+    // named and otherwise at least flag index gaps.
+    if (!a.spec.empty()) {
+      auto spec = sweep::spec_by_name(a.spec);
+      if (!spec) {
+        std::fprintf(stderr, "unimem_sweep: unknown spec '%s' (try --list)\n",
+                     a.spec.c_str());
+        return 1;
+      }
+      if (a.smoke || sweep::smoke_requested()) *spec = sweep::smoke_clamped(*spec);
+      const auto points = spec->expand(a.filter);
+      bool complete = rows.size() == points.size();
+      for (std::size_t i = 0; complete && i < rows.size(); ++i)
+        complete = rows[i].index == points[i].index;
+      if (!complete) {
+        std::fprintf(stderr,
+                     "unimem_sweep: merged rows (%zu) do not cover spec '%s' "
+                     "(%zu points) — a shard file is missing or stale\n",
+                     rows.size(), a.spec.c_str(), points.size());
+        return 1;
+      }
+    } else if (!rows.empty() &&
+               rows.back().index + 1 != rows.size()) {
+      std::fprintf(stderr,
+                   "unimem_sweep: warning: merged rows leave point indices "
+                   "unfilled (fine for a filtered/partial sweep; otherwise a "
+                   "shard file is missing — pass --spec to verify coverage)\n");
+    }
+    sweep::SweepResultStore store;
+    if (!a.jsonl.empty()) store.stream_jsonl(a.jsonl);
+    if (!a.csv.empty()) store.write_csv_at_finish(a.csv);
+    std::size_t failed = 0;
+    for (const sweep::SweepRow& r : rows) {
+      if (!r.ok) ++failed;
+      store.add(r);  // rows arrive point-ordered, so the stream is too
+    }
+    store.finish();
+    if (!a.quiet)
+      store
+          .report("merged sweep [" + std::to_string(a.merge_inputs.size()) +
+                  " shards, " + std::to_string(rows.size()) + " points]")
+          .print();
+    std::printf("\nmerge: %zu shard files, %zu points, %zu failed\n",
+                a.merge_inputs.size(), rows.size(), failed);
+    return failed == 0 ? 0 : 2;
+  }
+
   if (a.spec.empty()) {
     usage(stderr);
     return 1;
@@ -152,12 +263,16 @@ int run_cli(int argc, char** argv) {
   }
   if (a.smoke || sweep::smoke_requested()) *spec = sweep::smoke_clamped(*spec);
 
-  const auto points = spec->expand(a.filter);
+  auto points = spec->expand(a.filter);
   if (points.empty()) {
     std::fprintf(stderr, "unimem_sweep: no points match filter '%s'\n",
                  a.filter.c_str());
     return 1;
   }
+  // Slice after filtering; indices stay those of the full expansion, so a
+  // later --merge reassembles the original table.  An empty slice (more
+  // shards than points) is a valid degenerate partition member.
+  if (a.shard >= 0) points = sweep::shard_slice(points, a.shard, a.nshards);
 
   if (a.points) {
     std::printf("%-5s %-6s %s\n", "index", "ranks", "label");
@@ -176,8 +291,34 @@ int run_cli(int argc, char** argv) {
   eopts.jobs = a.jobs;
   eopts.max_inflight_ranks = a.ranks;
   eopts.on_result = [&](const sweep::SweepRow& row) { store.add(row); };
-  sweep::SweepEngine engine(eopts);
-  const sweep::SweepOutcome outcome = engine.run(points);
+
+  sweep::SweepOutcome outcome;
+  if (a.fork_shards > 0) {
+    // Multi-process topology: fork before any threads exist.  The parent
+    // replays merged rows through on_result in point order, so --jsonl
+    // streams the same bytes a --jobs 1 run would.
+    namespace fs = std::filesystem;
+    std::string tmpl =
+        (fs::temp_directory_path() / "unimem_sweep.XXXXXX").string();
+    if (mkdtemp(tmpl.data()) == nullptr) {
+      std::fprintf(stderr, "unimem_sweep: cannot create scratch dir\n");
+      return 1;
+    }
+    sweep::ShardedOptions sopts;
+    sopts.shards = a.fork_shards;
+    sopts.engine = eopts;
+    sopts.scratch_dir = tmpl;
+    try {
+      outcome = sweep::run_sharded_processes(points, sopts);
+    } catch (...) {
+      fs::remove_all(tmpl);
+      throw;
+    }
+    fs::remove_all(tmpl);
+  } else {
+    sweep::SweepEngine engine(eopts);
+    outcome = engine.run(points);
+  }
   store.finish();
 
   if (!a.quiet) {
