@@ -9,6 +9,8 @@
 // paths the way the planning loop sees them at production problem scales.
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
+#include <cmath>
 #include <vector>
 
 #include "common/rng.h"
@@ -87,6 +89,50 @@ BENCHMARK(BM_KnapsackDPProduction)
     ->Args({512, 32})
     ->Args({2048, 128})
     ->Args({2048, 512})
+    ->Unit(benchmark::kMillisecond);
+
+// Adaptive re-planning (core/replan.h): the epoch-cadence choice is
+// between a full knapsack re-solve over every item — which is exactly
+// BM_KnapsackDPProduction/2048/512 above, the anchor the speedup is
+// computed against — and the bounded warm-start repair below, which
+// classifies per-item weight drift (one linear pass) and re-scores only
+// the drifted items over the freed capacity slice.  The repair must beat
+// the full DP by a wide margin for the adaptive path to stay cheap at
+// any epoch cadence (BENCH_components.json `replan_incremental_speedup`).
+
+/// `state.range(2)` percent of the items drifted: classify + bounded
+/// re-score over the proportional capacity slice (the repair's exact
+/// shape; the non-drifted residents keep their bytes without being
+/// re-packed).
+void BM_ReplanIncrementalRepairProduction(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const std::size_t cap = static_cast<std::size_t>(state.range(1)) * kMiB;
+  const auto pct = static_cast<std::size_t>(state.range(2));
+  auto old_items = make_production_items(n, 42);
+  auto new_items = old_items;
+  Rng rng(77);
+  for (auto& it : new_items)
+    if (rng.below(100) < pct) it.weight *= rng.uniform(0.2, 3.0);
+  rt::KnapsackSolver solver(64 * kKiB);
+  for (auto _ : state) {
+    // Drift classification: one pass over the per-item weight deltas.
+    std::vector<rt::KnapsackItem> drifted;
+    for (std::size_t i = 0; i < n; ++i) {
+      const double hi = std::max(old_items[i].weight, new_items[i].weight);
+      if (hi > 0 &&
+          std::abs(new_items[i].weight - old_items[i].weight) > 0.25 * hi)
+        drifted.push_back(new_items[i]);
+    }
+    // Bounded re-score of the drifted slice only.
+    auto r = solver.solve_bounded(drifted, cap * pct / 100);
+    benchmark::DoNotOptimize(r.total_weight);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_ReplanIncrementalRepairProduction)
+    ->Args({2048, 512, 5})
+    ->Args({2048, 512, 25})
     ->Unit(benchmark::kMillisecond);
 
 void BM_KnapsackHugeProduction(benchmark::State& state) {

@@ -1,0 +1,49 @@
+# Asserts that the per-extra-label whole-binary aggregate tests exist.
+#
+# gtest_discover_tests flattens list-valued PROPERTIES when it serializes
+# the discovery script (a documented limitation), silently dropping every
+# label after the first.  unimem_add_test works around it by adding one
+# whole-binary aggregate test per extra label (`<suite>_<label>`), which is
+# what makes `ctest -L e2e` select anything at all.  This script runs
+# `ctest -N -L <label>` against the build directory and fails if any
+# expected aggregate vanished — so a CMake refactor cannot silently break
+# the label without CI noticing.
+#
+# Inputs (all -D):
+#   CTEST_EXECUTABLE  path to ctest
+#   BUILD_DIR         the configured build directory
+#   LABEL             the ctest label to query (e.g. e2e)
+#   EXPECTED          comma-separated aggregate test names that must appear
+cmake_minimum_required(VERSION 3.20)
+
+foreach(var CTEST_EXECUTABLE BUILD_DIR LABEL EXPECTED)
+  if(NOT DEFINED ${var})
+    message(FATAL_ERROR "check_label_aggregates: missing -D${var}")
+  endif()
+endforeach()
+
+execute_process(
+  COMMAND ${CTEST_EXECUTABLE} -N -L ${LABEL}
+  WORKING_DIRECTORY ${BUILD_DIR}
+  OUTPUT_VARIABLE listing
+  ERROR_VARIABLE listing_err
+  RESULT_VARIABLE rc)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR
+          "check_label_aggregates: ctest -N -L ${LABEL} failed (${rc}): "
+          "${listing_err}")
+endif()
+
+string(REPLACE "," ";" expected_list "${EXPECTED}")
+foreach(name IN LISTS expected_list)
+  if(NOT listing MATCHES "${name}")
+    message(FATAL_ERROR
+            "check_label_aggregates: expected aggregate test '${name}' is "
+            "missing from `ctest -L ${LABEL}` — the label-flattening "
+            "workaround in unimem_add_test was dropped or renamed.\n"
+            "Listing was:\n${listing}")
+  endif()
+endforeach()
+
+message(STATUS
+        "label '${LABEL}': all expected aggregates present (${EXPECTED})")

@@ -1,0 +1,122 @@
+#!/usr/bin/env python3
+"""Compare freshly recorded component-bench numbers against the committed
+BENCH_components.json baseline and fail on wall-time regressions.
+
+Used by the advisory `bench-regression` job in .github/workflows/ci.yml:
+the job re-runs the `*Production` micro_components sweep at smoke scale
+(small --benchmark_min_time) and this script flags any benchmark whose
+real_time grew by more than --threshold (default 30%) over the committed
+baseline.  Advisory because absolute times vary across runner hardware —
+a failure is a signal to re-run scripts/bench_components.sh locally and
+look, not a hard gate.
+
+The fresh file may be either
+  * a raw google-benchmark JSON (--benchmark_out; has a "benchmarks" key), or
+  * another BENCH_components.json-style label file (then --fresh-label picks
+    the entry).
+The baseline label defaults to "post_pr", falling back to "pre_pr".
+
+Exit codes: 0 ok (or nothing comparable), 1 regression past threshold,
+2 usage/IO error.
+"""
+
+import argparse
+import json
+import sys
+
+
+def die(msg):
+    """Usage/IO failure: exit 2, distinct from exit 1 (real regression)."""
+    print(f"check_bench_regression: {msg}", file=sys.stderr)
+    sys.exit(2)
+
+
+def load_rows(path, label, fallback_labels=()):
+    """Return {benchmark name: real_time_ms} from either supported format."""
+    try:
+        with open(path) as f:
+            data = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        die(f"cannot read {path}: {e}")
+
+    if "benchmarks" in data:  # raw google-benchmark --benchmark_out file
+        rows = data["benchmarks"]
+    else:  # BENCH_components.json: {label: [rows...], ...}
+        rows = None
+        for lbl in (label, *fallback_labels):
+            if lbl in data:
+                rows = data[lbl]
+                label = lbl
+                break
+        if rows is None:
+            die(f"{path} has none of the labels {[label, *fallback_labels]} "
+                f"(has: {sorted(data)})")
+
+    out = {}
+    for row in rows:
+        # google-benchmark emits aggregate rows (mean/median/stddev) when
+        # repetitions are on; skip everything but plain iterations rows.
+        if row.get("run_type", "iteration") != "iteration":
+            continue
+        ms = row["real_time"]
+        unit = row.get("time_unit", "ns")
+        scale = {"ns": 1e-6, "us": 1e-3, "ms": 1.0, "s": 1e3}.get(unit)
+        if scale is None:
+            die(f"unknown time_unit {unit!r}")
+        out[row["name"]] = ms * scale
+    return out
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("--baseline", default="BENCH_components.json",
+                    help="committed baseline file (default: %(default)s)")
+    ap.add_argument("--fresh", required=True,
+                    help="freshly recorded numbers (either format)")
+    ap.add_argument("--baseline-label", default="post_pr",
+                    help="label inside the baseline file (default: "
+                         "%(default)s, falls back to pre_pr)")
+    ap.add_argument("--fresh-label", default="ci",
+                    help="label inside the fresh file when it is a "
+                         "BENCH_components-style file (default: %(default)s)")
+    ap.add_argument("--threshold", type=float, default=0.30,
+                    help="allowed fractional real_time growth "
+                         "(default: %(default)s = 30%%)")
+    args = ap.parse_args()
+
+    baseline = load_rows(args.baseline, args.baseline_label, ("pre_pr",))
+    fresh = load_rows(args.fresh, args.fresh_label, ("post_pr", "pre_pr"))
+
+    regressions = []
+    compared = 0
+    width = max((len(n) for n in fresh), default=4)
+    print(f"{'benchmark':<{width}}  {'base ms':>10}  {'fresh ms':>10}  ratio")
+    for name in sorted(fresh):
+        if name not in baseline:
+            print(f"{name:<{width}}  {'-':>10}  {fresh[name]:>10.3f}  (new)")
+            continue
+        base, cur = baseline[name], fresh[name]
+        ratio = cur / base if base > 0 else float("inf")
+        flag = "  << REGRESSION" if ratio > 1.0 + args.threshold else ""
+        print(f"{name:<{width}}  {base:>10.3f}  {cur:>10.3f}  {ratio:5.2f}{flag}")
+        compared += 1
+        if ratio > 1.0 + args.threshold:
+            regressions.append((name, ratio))
+
+    if not compared:
+        print("check_bench_regression: no overlapping benchmarks; nothing "
+              "to compare (ok)")
+        return 0
+    if regressions:
+        names = ", ".join(f"{n} ({r:.2f}x)" for n, r in regressions)
+        print(f"check_bench_regression: {len(regressions)}/{compared} "
+              f"benchmarks regressed past {args.threshold:.0%}: {names}",
+              file=sys.stderr)
+        return 1
+    print(f"check_bench_regression: {compared} benchmarks within "
+          f"{args.threshold:.0%} of baseline")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,50 +1,84 @@
 #!/usr/bin/env bash
-# CI pipeline: configure -> build -> tier-1 tests -> bench smoke ->
-# ASan/UBSan tier-1 run -> TSan tier-1 run (minimpi + the migration
-# helper thread are the concurrency hot spots the TSan pass guards).
-# Suitable as a single GitHub Actions step:  run: ./scripts/ci.sh
+# CI pipeline, one entry point for local runs and the GitHub Actions
+# matrix (.github/workflows/ci.yml — each matrix job runs exactly one
+# stage):
+#
+#   scripts/ci.sh release   configure+build (RelWithDebInfo) -> tier-1 ->
+#                           e2e aggregates -> bench smoke -> sweep smoke
+#   scripts/ci.sh asan      ASan+UBSan Debug build -> tier-1
+#   scripts/ci.sh tsan      TSan Debug build -> tier-1 -> sweep smoke
+#                           (minimpi + the migration helper thread + the
+#                           sweep worker pool are the concurrency hot
+#                           spots the TSan pass guards)
+#   scripts/ci.sh all       all three stages in order (the default; same
+#                           behavior as the old monolithic script)
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 JOBS="${JOBS:-$(nproc)}"
 
-echo "== configure =="
-cmake -B build -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo
+stage_release() {
+  echo "== [release] configure =="
+  cmake -B build -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo
 
-echo "== build =="
-cmake --build build -j "$JOBS"
+  echo "== [release] build =="
+  cmake --build build -j "$JOBS"
 
-echo "== tier-1 tests =="
-ctest --test-dir build -L tier1 --output-on-failure -j "$JOBS"
+  echo "== [release] tier-1 tests =="
+  ctest --test-dir build -L tier1 --output-on-failure -j "$JOBS"
 
-echo "== e2e aggregates =="
-# Whole-binary runs: cross-case assertions (e.g. the matrix test's
-# cross-strategy checksum comparison) only fire when all cases share one
-# process, which the per-case tier-1 entries cannot provide.
-ctest --test-dir build -L e2e --output-on-failure -j "$JOBS"
+  echo "== [release] e2e aggregates =="
+  # Whole-binary runs: cross-case assertions (e.g. the matrix test's
+  # cross-strategy checksum comparison) only fire when all cases share one
+  # process, which the per-case tier-1 entries cannot provide.  The
+  # ctest_e2e_aggregates_exist tier-1 test asserts this label stays
+  # populated (see cmake/check_label_aggregates.cmake).
+  ctest --test-dir build -L e2e --output-on-failure -j "$JOBS"
 
-echo "== bench smoke =="
-ctest --test-dir build -L bench-smoke --output-on-failure -j "$JOBS"
+  echo "== [release] bench smoke =="
+  ctest --test-dir build -L bench-smoke --output-on-failure -j "$JOBS"
 
-echo "== sweep smoke =="
-# The unimem_sweep CLI end to end at smoke scale (tiny spec, parallel
-# engine, JSONL/CSV/summary outputs).
-ctest --test-dir build -L sweep-smoke --output-on-failure -j "$JOBS"
+  echo "== [release] sweep smoke =="
+  # The unimem_sweep CLI end to end at smoke scale (tiny spec, parallel
+  # engine, JSONL/CSV/summary outputs, drift-injected replan_drift spec).
+  ctest --test-dir build -L sweep-smoke --output-on-failure -j "$JOBS"
+}
 
-echo "== asan+ubsan configure + build + tier-1 =="
-cmake -B build-asan -S . -DUNIMEM_SANITIZE=address,undefined \
-      -DCMAKE_BUILD_TYPE=Debug
-cmake --build build-asan -j "$JOBS"
-ctest --test-dir build-asan -L tier1 --output-on-failure -j "$JOBS"
+stage_asan() {
+  echo "== [asan] asan+ubsan configure + build + tier-1 =="
+  cmake -B build-asan -S . -DUNIMEM_SANITIZE=address,undefined \
+        -DCMAKE_BUILD_TYPE=Debug
+  cmake --build build-asan -j "$JOBS"
+  ctest --test-dir build-asan -L tier1 --output-on-failure -j "$JOBS"
+}
 
-echo "== tsan configure + build + tier-1 + sweep smoke =="
-cmake -B build-tsan -S . -DUNIMEM_SANITIZE=thread -DCMAKE_BUILD_TYPE=Debug
-cmake --build build-tsan -j "$JOBS"
-TSAN_OPTIONS="${TSAN_OPTIONS:-halt_on_error=1}" \
-  ctest --test-dir build-tsan -L tier1 --output-on-failure -j "$JOBS"
-# Race the sweep worker pool (concurrent Worlds + per-job copy helpers)
-# under TSan, not just the single-World suites.
-TSAN_OPTIONS="${TSAN_OPTIONS:-halt_on_error=1}" \
-  ctest --test-dir build-tsan -L sweep-smoke --output-on-failure -j "$JOBS"
+stage_tsan() {
+  echo "== [tsan] tsan configure + build + tier-1 + sweep smoke =="
+  cmake -B build-tsan -S . -DUNIMEM_SANITIZE=thread -DCMAKE_BUILD_TYPE=Debug
+  cmake --build build-tsan -j "$JOBS"
+  TSAN_OPTIONS="${TSAN_OPTIONS:-halt_on_error=1}" \
+    ctest --test-dir build-tsan -L tier1 --output-on-failure -j "$JOBS"
+  # Race the sweep worker pool (concurrent Worlds + per-job copy helpers
+  # + the adaptive re-planner's epoch path) under TSan, not just the
+  # single-World suites.
+  TSAN_OPTIONS="${TSAN_OPTIONS:-halt_on_error=1}" \
+    ctest --test-dir build-tsan -L sweep-smoke --output-on-failure -j "$JOBS"
+}
 
-echo "CI OK"
+STAGE="${1:-all}"
+case "$STAGE" in
+  release) stage_release ;;
+  asan)    stage_asan ;;
+  tsan)    stage_tsan ;;
+  all)
+    stage_release
+    stage_asan
+    stage_tsan
+    ;;
+  *)
+    echo "usage: scripts/ci.sh [release|asan|tsan|all]" >&2
+    exit 1
+    ;;
+esac
+
+echo "CI OK ($STAGE)"

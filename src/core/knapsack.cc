@@ -19,39 +19,52 @@ constexpr std::size_t kDenseDpCellBudget = std::size_t{1} << 25;
 
 }  // namespace
 
+bool KnapsackSolver::prefilter(const std::vector<KnapsackItem>& items,
+                               std::size_t cap,
+                               std::vector<std::size_t>* cand,
+                               std::vector<std::size_t>* gsz,
+                               KnapsackResult* out) const {
+  // Candidates: positive weight, fits at all.  Track quantized sizes once.
+  std::size_t total_g = 0;
+  for (std::size_t i = 0; i < items.size(); ++i) {
+    if (items[i].weight <= 0) continue;
+    const std::size_t g = granules(items[i].bytes, granule_);
+    if (g > cap) continue;
+    cand->push_back(i);
+    gsz->push_back(g);
+    total_g += g;
+  }
+  if (cand->empty()) return true;
+
+  // Pre-clamp: nothing above the candidates' total quantized size is
+  // reachable, and when everything fits there is nothing to optimize.
+  if (total_g <= cap) {
+    for (std::size_t i : *cand) {
+      out->selected.push_back(i);
+      out->total_weight += items[i].weight;
+      out->total_bytes += items[i].bytes;
+    }
+    std::sort(out->selected.begin(), out->selected.end());
+    return true;
+  }
+  return false;
+}
+
 KnapsackResult KnapsackSolver::solve(const std::vector<KnapsackItem>& items,
                                      std::size_t capacity_bytes) const {
   KnapsackResult out;
   std::size_t cap = capacity_bytes / granule_;
   if (cap == 0 || items.empty()) return out;
 
-  // Candidates: positive weight, fits at all.  Track quantized sizes once.
   std::vector<std::size_t> cand;
   std::vector<std::size_t> gsz;
-  std::size_t total_g = 0;
-  for (std::size_t i = 0; i < items.size(); ++i) {
-    if (items[i].weight <= 0) continue;
-    const std::size_t g = granules(items[i].bytes, granule_);
-    if (g > cap) continue;
-    cand.push_back(i);
-    gsz.push_back(g);
-    total_g += g;
-  }
-  if (cand.empty()) return out;
+  if (prefilter(items, cap, &cand, &gsz, &out)) return out;
 
   auto take = [&](std::size_t ci) {
     out.selected.push_back(cand[ci]);
     out.total_weight += items[cand[ci]].weight;
     out.total_bytes += items[cand[ci]].bytes;
   };
-
-  // Pre-clamp: nothing above the candidates' total quantized size is
-  // reachable, and when everything fits there is nothing to optimize.
-  if (total_g <= cap) {
-    for (std::size_t ci = 0; ci < cand.size(); ++ci) take(ci);
-    std::sort(out.selected.begin(), out.selected.end());
-    return out;
-  }
 
   const std::size_t n = cand.size();
   if (n * (cap + 1) > kDenseDpCellBudget)
@@ -116,6 +129,18 @@ KnapsackResult KnapsackSolver::solve(const std::vector<KnapsackItem>& items,
   }
   std::sort(out.selected.begin(), out.selected.end());
   return out;
+}
+
+KnapsackResult KnapsackSolver::solve_bounded(
+    const std::vector<KnapsackItem>& items, std::size_t capacity_bytes) const {
+  KnapsackResult out;
+  const std::size_t cap = capacity_bytes / granule_;
+  if (cap == 0 || items.empty()) return out;
+
+  std::vector<std::size_t> cand;
+  std::vector<std::size_t> gsz;
+  if (prefilter(items, cap, &cand, &gsz, &out)) return out;
+  return solve_bounded(items, cand, gsz, cap);
 }
 
 KnapsackResult KnapsackSolver::solve_bounded(

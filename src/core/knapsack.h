@@ -48,7 +48,27 @@ class KnapsackSolver {
   KnapsackResult solve_greedy(const std::vector<KnapsackItem>& items,
                               std::size_t capacity_bytes) const;
 
+  /// Bounded 1/2-approximation without the dense DP, at any instance
+  /// size: quantized density greedy refined with the best single item
+  /// (the same path solve() falls back to past its cell budget).  Used by
+  /// the incremental re-planner to re-score only the drifted/displaced
+  /// items over the freed capacity slice — O(n log n) in the candidate
+  /// count, independent of the capacity.
+  KnapsackResult solve_bounded(const std::vector<KnapsackItem>& items,
+                               std::size_t capacity_bytes) const;
+
  private:
+  /// Shared candidate filter + degenerate-instance shortcut for both
+  /// public entry points: fills `cand`/`gsz` with the positive-weight
+  /// items that fit `cap` granules (and their quantized sizes), and
+  /// returns true when `out` is already the final answer — no candidates,
+  /// or everything fits (take all).  Keeping this in one place is what
+  /// guarantees solve() and solve_bounded() agree on degenerate
+  /// instances.
+  bool prefilter(const std::vector<KnapsackItem>& items, std::size_t cap,
+                 std::vector<std::size_t>* cand,
+                 std::vector<std::size_t>* gsz, KnapsackResult* out) const;
+
   /// Bounded-approximation path for instances past the dense-DP budget.
   /// `cand`/`gsz` are the candidate indices and their quantized sizes;
   /// `cap` is the pre-clamped capacity in granules.

@@ -35,7 +35,9 @@ struct PlannedMigration {
 };
 
 struct Plan {
-  enum class Kind { kNone, kLocal, kGlobal } kind = Kind::kNone;
+  /// kIncremental: a warm-start repair of the previous plan produced by
+  /// the ReplanController (replan.h), not a fresh search.
+  enum class Kind { kNone, kLocal, kGlobal, kIncremental } kind = Kind::kNone;
   /// Migrations to enqueue at the start of each phase, every iteration.
   /// Index: phase; empty vector = nothing to do.
   std::vector<std::vector<PlannedMigration>> at_phase;

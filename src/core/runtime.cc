@@ -36,6 +36,18 @@ Runtime::Runtime(RuntimeOptions opts, mem::HeteroMemory* hms,
   model_params_ = calibrate(hms_->config(), *cache_, opts_.timing, copts);
   model_ = std::make_unique<PerformanceModel>(model_params_, hms_->config().dram,
                                               hms_->config().nvm);
+  if (opts_.replan_epoch > 0 && opts_.enable_chunking) {
+    // The controller re-scores at unit granularity, which equals the
+    // planner's group granularity exactly when chunking is on; under the
+    // chunking ablation a unit-level repair could split an all-or-nothing
+    // object group, so the adaptive path stays off there.
+    ReplanOptions ropts;
+    ropts.drift_threshold = opts_.drift_threshold;
+    ropts.drift_budget = opts_.drift_budget;
+    ropts.dram_budget = dram_budget_;
+    replanner_ = std::make_unique<ReplanController>(registry_.get(),
+                                                    model_.get(), ropts);
+  }
   if (comm_ != nullptr) comm_->set_hooks(this);
 }
 
@@ -163,6 +175,12 @@ void Runtime::iteration_begin() {
     make_plan();
     mode_ = Mode::kEnforcing;
     enforce_iters_since_plan_ = 0;
+  } else if (epoch_profiling_) {
+    // The epoch re-profiling iteration just ended (the plan was enforced
+    // throughout): let the controller keep/repair/re-solve from the drift.
+    epoch_profiling_ = false;
+    ++enforce_iters_since_plan_;
+    finish_epoch_check();
   } else if (reprofile_requested_) {
     // Variation detected (>10%): re-profile this iteration, re-plan after.
     profiler_.begin_iteration();
@@ -172,6 +190,12 @@ void Runtime::iteration_begin() {
     ++reprofiles_;
   } else {
     ++enforce_iters_since_plan_;
+    if (replanner_ != nullptr &&
+        enforce_iters_since_plan_ % opts_.replan_epoch == 0) {
+      // Epoch due: sample the coming iteration without dropping the plan.
+      profiler_.begin_iteration();
+      epoch_profiling_ = true;
+    }
   }
 
   prev_phase_times_ = std::move(cur_phase_times_);
@@ -207,7 +231,7 @@ void Runtime::close_phase(bool is_comm, double comm_time) {
   ++phases_executed_;
   cur_phase_times_.push_back(phase_time);
 
-  if (mode_ == Mode::kProfiling) {
+  if (mode_ == Mode::kProfiling || epoch_profiling_) {
     if (is_comm) {
       profiler_.record_comm_phase(phase_time);
     } else {
@@ -217,11 +241,15 @@ void Runtime::close_phase(bool is_comm, double comm_time) {
                       opts_.overhead_per_sample_s);
       profiler_.record_phase(samples, phase_time);
     }
-  } else if (mode_ == Mode::kEnforcing) {
+  }
+  if (mode_ == Mode::kEnforcing) {
     charge_overhead(opts_.overhead_per_phase_s);
     // Variation monitor (§3.2): compare with the same phase last iteration.
+    // With the adaptive controller armed, the epoch cadence owns the drift
+    // response (a monitor-triggered full re-profile would fight it).
     std::size_t idx = cur_phase_times_.size() - 1;
-    if (enforce_iters_since_plan_ >= 3 && idx < prev_phase_times_.size()) {
+    if (replanner_ == nullptr && enforce_iters_since_plan_ >= 3 &&
+        idx < prev_phase_times_.size()) {
       double prev = prev_phase_times_[idx];
       if (prev > 0 &&
           std::abs(phase_time - prev) > opts_.reprofile_threshold * prev)
@@ -310,7 +338,7 @@ void Runtime::compute(const PhaseWork& work) {
   PhaseExec exec = engine_->run(work);
   clock().advance(exec.total_s());
   phase_compute_s_ += exec.compute_s;
-  if (mode_ == Mode::kProfiling)
+  if (mode_ == Mode::kProfiling || epoch_profiling_)
     phase_windows_.insert(phase_windows_.end(), exec.windows.begin(),
                           exec.windows.end());
 }
@@ -342,9 +370,45 @@ void Runtime::make_plan() {
   for (const auto& ph : profiler_.phases()) items += ph.units.size();
   charge_overhead(opts_.overhead_plan_fixed_s +
                   static_cast<double>(items) * opts_.overhead_per_plan_item_s);
+  if (replanner_ != nullptr) replanner_->observe(profiler_);
   Log::info("rank plan: kind=%d migrations/iter=%zu predicted=%.3fms",
             static_cast<int>(plan_.kind), plan_.migration_count(),
             plan_.predicted_iteration_s * 1e3);
+}
+
+void Runtime::finish_epoch_check() {
+  ++replan_checks_;
+  ReplanDecision d = replanner_->decide(profiler_);
+  last_drift_fraction_ = d.drift.drift_fraction();
+  switch (d.path) {
+    case ReplanDecision::Path::kFullSolve:
+      ++full_replans_;
+      // The epoch profile is a single iteration; make_plan folds by the
+      // recorded row count.
+      profile_iters_in_row_ = 1;
+      make_plan();
+      enforce_iters_since_plan_ = 0;
+      break;
+    case ReplanDecision::Path::kIncremental:
+      ++incremental_repairs_;
+      plan_ = std::move(d.plan);
+      // Only the drifted items were re-scored: charge the bounded repair,
+      // not a full planning pass over every (unit, phase) profile.
+      charge_overhead(opts_.overhead_plan_fixed_s +
+                      static_cast<double>(d.drift.drifted) *
+                          opts_.overhead_per_plan_item_s);
+      replanner_->observe(profiler_);
+      enforce_iters_since_plan_ = 0;
+      break;
+    case ReplanDecision::Path::kKeepStale:
+      // Plan unchanged; refresh the drift baseline so slow creep is
+      // measured against the latest accepted weights.
+      replanner_->observe(profiler_);
+      break;
+  }
+  Log::info("replan check: drift=%.3f (%zu/%zu) path=%d",
+            d.drift.drift_fraction(), d.drift.drifted, d.drift.tracked,
+            static_cast<int>(d.path));
 }
 
 // ---------------------------------------------------------------------------
@@ -360,6 +424,10 @@ RuntimeStats Runtime::stats() const {
   s.reprofiles = reprofiles_;
   s.plan_kind = plan_.kind;
   s.planned_migrations_per_iteration = plan_.migration_count();
+  s.replan_checks = replan_checks_;
+  s.incremental_repairs = incremental_repairs_;
+  s.full_replans = full_replans_;
+  s.last_drift_fraction = last_drift_fraction_;
   return s;
 }
 

@@ -28,6 +28,7 @@
 #include "core/planner.h"
 #include "core/profiler.h"
 #include "core/registry.h"
+#include "core/replan.h"
 #include "minimpi/comm.h"
 #include "minimpi/pmpi.h"
 #include "perfmon/sampler.h"
@@ -54,6 +55,20 @@ struct RuntimeOptions {
   double t1_percent = 80.0;
   double t2_percent = 10.0;
   double reprofile_threshold = 0.10;  ///< "obvious variation" (paper: 10%)
+
+  // ---- adaptive re-planning (drift-aware incremental DP) ----------------
+  /// Re-profile every `replan_epoch` enforcing iterations (while still
+  /// enforcing the current plan) and let the ReplanController keep,
+  /// repair, or fully re-solve the plan from the per-unit weight drift.
+  /// 0 = off: one-shot planning plus the paper's 10% variation monitor.
+  /// When on, the epoch cadence supersedes the variation monitor (the
+  /// controller owns the drift response).
+  int replan_epoch = 0;
+  /// Per-unit relative weight change that counts as drift.
+  double drift_threshold = 0.25;
+  /// Max fraction of drifted units repaired incrementally; past this the
+  /// full knapsack DP re-runs.
+  double drift_budget = 0.25;
   /// Iterations profiled before planning ("a few invocations of each
   /// phase"); > 1 averages out sampling noise.
   int profile_iterations = 2;
@@ -81,6 +96,12 @@ struct RuntimeStats {
   std::uint64_t reprofiles = 0;
   Plan::Kind plan_kind = Plan::Kind::kNone;
   std::size_t planned_migrations_per_iteration = 0;
+
+  // Adaptive re-planning (replan_epoch > 0).
+  std::uint64_t replan_checks = 0;        ///< epoch drift evaluations
+  std::uint64_t incremental_repairs = 0;  ///< plans repaired in place
+  std::uint64_t full_replans = 0;         ///< epoch checks that re-ran the DP
+  double last_drift_fraction = 0;         ///< of the most recent check
 
   double overhead_percent() const {
     return total_time_s > 0 ? 100.0 * overhead_s / total_time_s : 0.0;
@@ -123,6 +144,8 @@ class Runtime final : public Context, public mpi::PmpiHooks {
   const Plan& current_plan() const { return plan_; }
   const ModelParams& model_params() const { return model_params_; }
   const Profiler& profiler() const { return profiler_; }
+  /// nullptr unless replan_epoch > 0.
+  const ReplanController* replanner() const { return replanner_.get(); }
 
  private:
   enum class Mode { kIdle, kProfiling, kEnforcing };
@@ -137,6 +160,10 @@ class Runtime final : public Context, public mpi::PmpiHooks {
   void wait_for_buffer(const void* buf, std::size_t bytes);
   void enqueue_phase_migrations(std::size_t phase_idx);
   void make_plan();
+  /// Consume the just-finished epoch profile: classify drift, then keep
+  /// the plan, adopt the controller's incremental repair, or re-run the
+  /// full planner.
+  void finish_epoch_check();
   void apply_initial_placement();
   void charge_overhead(double seconds);
 
@@ -153,6 +180,7 @@ class Runtime final : public Context, public mpi::PmpiHooks {
   Profiler profiler_;
   ModelParams model_params_;
   std::unique_ptr<PerformanceModel> model_;
+  std::unique_ptr<ReplanController> replanner_;
   Plan plan_;
 
   Mode mode_ = Mode::kIdle;
@@ -179,9 +207,18 @@ class Runtime final : public Context, public mpi::PmpiHooks {
   std::vector<double> prev_phase_times_;
   std::vector<double> cur_phase_times_;
 
+  /// True while the one epoch-cadence re-profiling iteration runs: the
+  /// plan keeps being enforced, but phases are sampled again so the
+  /// ReplanController can compare weights at iteration end.
+  bool epoch_profiling_ = false;
+
   double overhead_s_ = 0;
   std::uint64_t phases_executed_ = 0;
   std::uint64_t reprofiles_ = 0;
+  std::uint64_t replan_checks_ = 0;
+  std::uint64_t incremental_repairs_ = 0;
+  std::uint64_t full_replans_ = 0;
+  double last_drift_fraction_ = 0;
   double end_vt_ = 0;
 };
 

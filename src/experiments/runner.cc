@@ -89,6 +89,10 @@ PassResult run_pass(const RunConfig& cfg, Policy policy,
     if (policy == Policy::kUnimem) {
       rt::RuntimeOptions opts = cfg.unimem;
       opts.ranks_per_node = cfg.ranks_per_node;
+      if (cfg.replan_epoch != 0) {
+        opts.replan_epoch = cfg.replan_epoch;
+        opts.drift_threshold = cfg.drift_threshold;
+      }
       rt::Runtime runtime(opts, node.hms.get(), node.arbiter.get(), &comm);
       sums[r] = workload->run_rank(runtime, cfg.wcfg);
       out.stats[r] = runtime.stats();

@@ -33,6 +33,14 @@ struct RunConfig {
   Policy policy = Policy::kUnimem;
   /// DRAM-resident object names for Policy::kManual (Fig. 4).
   std::vector<std::string> manual_dram{};
+  /// Adaptive re-planning knobs (Policy::kUnimem): re-profile every
+  /// `replan_epoch` enforcing iterations and repair the plan
+  /// incrementally when only a few per-unit weights drifted past
+  /// `drift_threshold` (see core/replan.h).  0 = off.  When nonzero these
+  /// top-level knobs override `unimem.replan_epoch`/`drift_threshold`, so
+  /// sweeps can vary them per point without cloning RuntimeOptions.
+  int replan_epoch = 0;
+  double drift_threshold = 0.25;
   /// Technique switches etc. for Policy::kUnimem.
   rt::RuntimeOptions unimem{};
   mpi::NetworkParams net{};

@@ -9,16 +9,18 @@ BaselineService::BaselineService(Runner runner) : runner_(std::move(runner)) {
 }
 
 std::string BaselineService::key(const exp::RunConfig& cfg) {
-  // Included: workload identity and size, the rank/node topology, the
-  // network model, and the execution-engine knobs StaticContext consumes
-  // (timing, cache model).  Excluded on purpose: NVM bw/lat ratios and
-  // dram_capacity (the DRAM-only machine's tiers all run at DRAM speed
-  // and capacity only bounds allocation, never timing), the Unimem
-  // technique switches, and manual placements (DRAM-only ignores both).
-  char buf[256];
+  // Included: workload identity and size, the drift-injection schedule
+  // (it scales the modeled traffic of every policy, DRAM-only included),
+  // the rank/node topology, the network model, and the execution-engine
+  // knobs StaticContext consumes (timing, cache model).  Excluded on
+  // purpose: NVM bw/lat ratios and dram_capacity (the DRAM-only machine's
+  // tiers all run at DRAM speed and capacity only bounds allocation,
+  // never timing), the Unimem technique switches and re-planning knobs,
+  // and manual placements (DRAM-only ignores them all).
+  char buf[320];
   std::snprintf(buf, sizeof buf,
                 "%s|%c|i%d|r%d|rpn%d|a%.9g|b%.9g|f%.9g|fl%.9g|mlp%d|s%llu|"
-                "c%zu/%d/%zu|x%d",
+                "c%zu/%d/%zu|x%d|d%.9g/%d/%llu",
                 cfg.workload.c_str(), cfg.wcfg.cls, cfg.wcfg.iterations,
                 cfg.wcfg.nranks, cfg.ranks_per_node, cfg.net.alpha_s,
                 cfg.net.beta_bps, cfg.unimem.timing.cpu_freq_hz,
@@ -26,7 +28,9 @@ std::string BaselineService::key(const exp::RunConfig& cfg) {
                 static_cast<unsigned long long>(
                     cfg.unimem.timing.sample_interval_cycles),
                 cfg.unimem.cache.size_bytes, cfg.unimem.cache.ways,
-                cfg.unimem.cache.line_bytes, cfg.unimem.use_exact_cache ? 1 : 0);
+                cfg.unimem.cache.line_bytes, cfg.unimem.use_exact_cache ? 1 : 0,
+                cfg.wcfg.drift_amplitude, cfg.wcfg.drift_period,
+                static_cast<unsigned long long>(cfg.wcfg.drift_seed));
   return buf;
 }
 

@@ -86,6 +86,10 @@ std::vector<SweepPoint> SweepSpec::expand(const std::string& filter) const {
                 p.cfg.wcfg.cls = cls;
                 p.cfg.wcfg.iterations = iterations;
                 p.cfg.wcfg.nranks = nranks;
+                p.cfg.wcfg.drift_amplitude = drift_amplitude;
+                p.cfg.wcfg.drift_period = drift_period;
+                p.cfg.replan_epoch = replan_epoch;
+                p.cfg.drift_threshold = drift_threshold;
                 p.cfg.nvm_bw_ratio = bw;
                 p.cfg.nvm_lat_mult = lat;
                 p.cfg.dram_capacity = dram;
@@ -173,11 +177,17 @@ std::vector<SweepPoint> shard_slice(const std::vector<SweepPoint>& points,
 
 SweepSpec smoke_clamped(SweepSpec spec) {
   spec.cls = 'S';
-  spec.iterations = std::min(spec.iterations, 3);
+  // Adaptive-re-planning specs need headroom for at least one full epoch
+  // cycle (profile -> plan -> epoch wait -> epoch re-profile -> decision
+  // at the next iteration top), or smoke/TSan runs would never reach the
+  // replan path they exist to exercise: with profile_iterations=2 and
+  // replan_epoch=E the first decision fires at iteration 4+E+1.
+  const int iter_clamp = spec.replan_epoch > 0 ? 4 + spec.replan_epoch + 1 : 3;
+  spec.iterations = std::min(spec.iterations, iter_clamp);
   spec.nranks = std::min(spec.nranks, 2);
   for (auto& e : spec.explicit_points) {
     e.cfg.wcfg.cls = 'S';
-    e.cfg.wcfg.iterations = std::min(e.cfg.wcfg.iterations, 3);
+    e.cfg.wcfg.iterations = std::min(e.cfg.wcfg.iterations, iter_clamp);
     e.cfg.wcfg.nranks = std::min(e.cfg.wcfg.nranks, 2);
   }
   return spec;
@@ -311,6 +321,39 @@ SweepSpec make_spec(const std::string& name) {
     s.workloads = npb(true);
     s.policies = {exp::Policy::kNvmOnly, exp::Policy::kUnimem};
     s.dram_capacities = {4 * kMiB, 8 * kMiB, 16 * kMiB};
+  } else if (name == "replan_drift") {
+    // Dynamic-workload scenario (not a paper figure): every point runs
+    // with seeded per-phase weight drift injected (wl::DriftSchedule), and
+    // the Unimem grid points run the adaptive re-planner on a 3-iteration
+    // epoch cadence.  The explicit `*/unimem-static` points are the same
+    // drifted runs with re-planning off — the one-shot-plan control the
+    // adaptive runtime has to beat.
+    s.title = "Adaptive re-planning under injected weight drift";
+    s.workloads = {"cg", "mg", "nek"};
+    s.policies = {exp::Policy::kNvmOnly, exp::Policy::kUnimem};
+    s.iterations = 18;
+    s.drift_amplitude = 0.35;
+    s.drift_period = 3;
+    s.replan_epoch = 3;
+    s.drift_threshold = 0.15;
+    // At this amplitude roughly a third of the units drift each window;
+    // a 0.5 budget lets moderate windows take the incremental repair and
+    // still kicks wholesale reshuffles to the full DP.
+    s.unimem.drift_budget = 0.5;
+    for (const std::string& w : s.workloads) {
+      SweepSpec::ExplicitPoint e;
+      e.cfg.workload = w;
+      e.cfg.wcfg.cls = s.cls;
+      e.cfg.wcfg.iterations = s.iterations;
+      e.cfg.wcfg.nranks = s.nranks;
+      e.cfg.wcfg.drift_amplitude = s.drift_amplitude;
+      e.cfg.wcfg.drift_period = s.drift_period;
+      e.cfg.policy = exp::Policy::kUnimem;
+      e.cfg.replan_epoch = 0;  // the control: plan once, never adapt
+      e.label = w + "/unimem-static";
+      e.axis["mode"] = "static";
+      s.explicit_points.push_back(std::move(e));
+    }
   } else if (name == "table4") {
     // Raw migration statistics (not normalized): one Unimem point per
     // workload at NVM = 1/2 bandwidth; the harness reads the row's
@@ -325,8 +368,8 @@ SweepSpec make_spec(const std::string& name) {
 }  // namespace
 
 std::vector<std::string> spec_names() {
-  return {"fig2",  "fig3",  "fig4",  "fig9",  "fig10",
-          "fig11", "fig12", "fig13", "table4"};
+  return {"fig2",  "fig3",  "fig4",   "fig9",   "fig10",
+          "fig11", "fig12", "fig13",  "table4", "replan_drift"};
 }
 
 std::optional<SweepSpec> spec_by_name(const std::string& name) {

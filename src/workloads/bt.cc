@@ -67,12 +67,13 @@ class BtWorkload final : public Workload {
 
     double checksum = 0;
     mpi::Comm& comm = *ctx.comm();
+    DriftSchedule drift(cfg);
     ctx.start();
     for (int it = 0; it < cfg.iterations; ++it) {
       ctx.iteration_begin();
 
       // Phase: compute_rhs.
-      ctx.compute(WorkBuilder()
+      ctx.compute(WorkBuilder(drift.factor(it, 0))
                       .flops(8.0 * static_cast<double>(n_rhs))
                       .seq(u, n_u)
                       .seq(forcing, n_forc)
@@ -87,7 +88,7 @@ class BtWorkload final : public Workload {
       checksum += axpy_touch(rhs->as_span<double>(), u->as_span<double>(), 0.2);
 
       // Phase: x_solve — block solves on lhsa (+ jacobians), high traffic.
-      ctx.compute(WorkBuilder()
+      ctx.compute(WorkBuilder(drift.factor(it, 1))
                       .flops(10.0 * static_cast<double>(n_lhs))
                       .seq(fjac, 2 * n_jac, 0.3)
                       .seq(njac, 2 * n_jac, 0.3)
@@ -97,7 +98,7 @@ class BtWorkload final : public Workload {
       checksum += stencil_touch(lhsa->as_span<double>(), 8);
 
       // Phase: face exchange.
-      ctx.compute(WorkBuilder()
+      ctx.compute(WorkBuilder(drift.factor(it, 2))
                       .flops(static_cast<double>(n_buf))
                       .seq(out_buffer, 2 * n_buf, 1.0)
                       .work());
@@ -105,7 +106,7 @@ class BtWorkload final : public Workload {
                     300 + it % 5);
 
       // Phase: y_solve — hot on lhsb.
-      ctx.compute(WorkBuilder()
+      ctx.compute(WorkBuilder(drift.factor(it, 3))
                       .flops(10.0 * static_cast<double>(n_lhs))
                       .seq(in_buffer, n_buf)
                       .seq(fjac, n_jac, 0.3)
@@ -116,7 +117,7 @@ class BtWorkload final : public Workload {
       checksum += stencil_touch(lhsb->as_span<double>(), 8);
 
       // Phase: face exchange.
-      ctx.compute(WorkBuilder()
+      ctx.compute(WorkBuilder(drift.factor(it, 4))
                       .flops(static_cast<double>(n_buf))
                       .seq(out_buffer, 2 * n_buf, 1.0)
                       .work());
@@ -124,7 +125,7 @@ class BtWorkload final : public Workload {
                     400 + it % 5);
 
       // Phase: z_solve + add — hot on lhsc, final u update.
-      ctx.compute(WorkBuilder()
+      ctx.compute(WorkBuilder(drift.factor(it, 5))
                       .flops(10.0 * static_cast<double>(n_lhs))
                       .seq(in_buffer, n_buf)
                       .seq(lhsc, 6 * n_lhs, 0.4, /*mlp=*/12)

@@ -73,12 +73,13 @@ class CgWorkload final : public Workload {
 
     double checksum = 0;
     mpi::Comm& comm = *ctx.comm();
+    DriftSchedule drift(cfg);
     ctx.start();
     for (int it = 0; it < cfg.iterations; ++it) {
       ctx.iteration_begin();
 
       // Phase: q = A*p  (SpMV: stream a/col_idx, gather p, write q).
-      ctx.compute(WorkBuilder()
+      ctx.compute(WorkBuilder(drift.factor(it, 0))
                       .flops(2.0 * static_cast<double>(nz))
                       .seq(a, nz)
                       .seq(col_idx, nz)
@@ -96,7 +97,7 @@ class CgWorkload final : public Workload {
       double alpha = 1.0 / (1.0 + std::abs(dot[0]));
 
       // Phase: z += alpha p ; r -= alpha q.
-      ctx.compute(WorkBuilder()
+      ctx.compute(WorkBuilder(drift.factor(it, 1))
                       .flops(4.0 * static_cast<double>(na))
                       .seq(z, na, 0.5)
                       .seq(p, na)
@@ -112,7 +113,7 @@ class CgWorkload final : public Workload {
       double beta = rho[0] / (1.0 + std::abs(dot[0]));
 
       // Phase: p = r + beta p ; x += alpha z ; w norm work.
-      ctx.compute(WorkBuilder()
+      ctx.compute(WorkBuilder(drift.factor(it, 2))
                       .flops(5.0 * static_cast<double>(na))
                       .seq(p, na, 0.5)
                       .seq(r, na)

@@ -63,12 +63,13 @@ class FtWorkload final : public Workload {
 
     double checksum = 0;
     mpi::Comm& comm = *ctx.comm();
+    DriftSchedule drift(cfg);
     ctx.start();
     for (int it = 0; it < cfg.iterations; ++it) {
       ctx.iteration_begin();
 
       // Phase: evolve — u1 = u0 * twiddle^t (bulk streams).
-      ctx.compute(WorkBuilder()
+      ctx.compute(WorkBuilder(drift.factor(it, 0))
                       .flops(4.0 * static_cast<double>(n_grid))
                       .seq(u0, n_grid, 0.5)
                       .seq(twiddle, n_tw)
@@ -80,7 +81,7 @@ class FtWorkload final : public Workload {
 
       // Phase: local 1-D FFTs along the first two dimensions — strided
       // butterfly passes over u1 with the root table u.
-      ctx.compute(WorkBuilder()
+      ctx.compute(WorkBuilder(drift.factor(it, 1))
                       .flops(10.0 * static_cast<double>(n_grid))
                       .seq(u, 4 * n_roots)
                       .strided(u1, 2 * n_grid, 128, 0.5)
@@ -93,7 +94,7 @@ class FtWorkload final : public Workload {
       comm.alltoall(sendbuf.data(), recvbuf.data(), a2a_bytes);
 
       // Phase: FFT along the third dimension into u2 + checksum taps.
-      ctx.compute(WorkBuilder()
+      ctx.compute(WorkBuilder(drift.factor(it, 2))
                       .flops(6.0 * static_cast<double>(n_grid))
                       .seq(u1, n_grid)
                       .seq(u, 2 * n_roots)

@@ -50,11 +50,15 @@ void fill_object(rt::DataObject& obj, std::uint64_t seed);
 void ring_exchange(mpi::Comm& comm, rt::DataObject& out, rt::DataObject& in,
                    std::size_t payload_bytes, int tag);
 
-/// Fluent builder for the access-descriptor list of one phase.
+/// Fluent builder for the access-descriptor list of one phase.  `scale`
+/// multiplies every declared access count and flop (DriftSchedule's
+/// per-phase drift factor); the default 1.0 is the static workload.
 class WorkBuilder {
  public:
+  explicit WorkBuilder(double scale = 1.0) : scale_(scale) {}
+
   WorkBuilder& flops(double f) {
-    w_.flops += f;
+    w_.flops += f * scale_;
     return *this;
   }
   /// Unit-stride stream (high MLP => bandwidth-sensitive when large).
@@ -87,13 +91,16 @@ class WorkBuilder {
     rt::ObjectAccess a;
     a.object = o;
     a.pattern = p;
-    a.accesses = n;
+    a.accesses = scale_ == 1.0 ? n
+                               : static_cast<std::uint64_t>(
+                                     static_cast<double>(n) * scale_ + 0.5);
     a.stride_bytes = stride;
     a.write_fraction = wf;
     a.mlp = mlp;
     w_.accesses.push_back(a);
     return *this;
   }
+  double scale_ = 1.0;
   rt::PhaseWork w_;
 };
 

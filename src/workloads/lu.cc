@@ -55,12 +55,13 @@ class LuWorkload final : public Workload {
 
     double checksum = 0;
     mpi::Comm& comm = *ctx.comm();
+    DriftSchedule drift(cfg);
     ctx.start();
     for (int it = 0; it < cfg.iterations; ++it) {
       ctx.iteration_begin();
 
       // Phase: rhs — flux-difference streams.
-      ctx.compute(WorkBuilder()
+      ctx.compute(WorkBuilder(drift.factor(it, 0))
                       .flops(6.0 * static_cast<double>(n_rsd))
                       .seq(u, n_u)
                       .seq(frct, n_frct)
@@ -70,7 +71,7 @@ class LuWorkload final : public Workload {
       checksum += axpy_touch(rsd->as_span<double>(), u->as_span<double>(), 0.2);
 
       // Phase: lower-triangular wavefront (dependent sweep, low MLP).
-      ctx.compute(WorkBuilder()
+      ctx.compute(WorkBuilder(drift.factor(it, 1))
                       .flops(8.0 * static_cast<double>(n_diag))
                       .seq(a, n_diag, 0.0, /*mlp=*/12)
                       .seq(b, n_diag, 0.0, /*mlp=*/12)
@@ -81,11 +82,12 @@ class LuWorkload final : public Workload {
       checksum += stencil_touch(rsd->as_span<double>(), 4);
 
       // Phase: wavefront boundary exchange.
-      ctx.compute(WorkBuilder().seq(buf, 2 * n_buf, 1.0).work());
+      ctx.compute(
+          WorkBuilder(drift.factor(it, 2)).seq(buf, 2 * n_buf, 1.0).work());
       ring_exchange(comm, *buf, *buf1, n_buf * sizeof(double), 500 + it % 3);
 
       // Phase: upper-triangular wavefront.
-      ctx.compute(WorkBuilder()
+      ctx.compute(WorkBuilder(drift.factor(it, 3))
                       .flops(8.0 * static_cast<double>(n_diag))
                       .seq(buf1, n_buf)
                       .seq(a, n_diag, 0.0, /*mlp=*/12)
@@ -97,7 +99,7 @@ class LuWorkload final : public Workload {
       checksum += stencil_touch(rsd->as_span<double>(), 16);
 
       // Phase: update u from rsd.
-      ctx.compute(WorkBuilder()
+      ctx.compute(WorkBuilder(drift.factor(it, 4))
                       .flops(2.0 * static_cast<double>(n_u))
                       .seq(rsd, n_rsd)
                       .seq(u, n_u, 1.0)

@@ -51,12 +51,13 @@ class MgWorkload final : public Workload {
 
     double checksum = 0;
     mpi::Comm& comm = *ctx.comm();
+    DriftSchedule drift(cfg);
     ctx.start();
     for (int it = 0; it < cfg.iterations; ++it) {
       ctx.iteration_begin();
 
       // Phase: residual r = v - A u (stream over the fine level).
-      ctx.compute(WorkBuilder()
+      ctx.compute(WorkBuilder(drift.factor(it, 0))
                       .flops(4.0 * static_cast<double>(n_r))
                       .seq(v, n_v)
                       .seq(u, n_u / 2)
@@ -65,13 +66,14 @@ class MgWorkload final : public Workload {
       checksum += axpy_touch(r->as_span<double>(), v->as_span<double>(), 1.0);
 
       // Phase: halo exchange through buff.
-      ctx.compute(WorkBuilder().seq(buff, 2 * n_buff, 1.0).work());
+      ctx.compute(
+          WorkBuilder(drift.factor(it, 1)).seq(buff, 2 * n_buff, 1.0).work());
       ring_exchange(comm, *buff, *buff, n_buff * sizeof(double) / 2,
                     600 + it % 3);
 
       // Phase: restrict/prolongate — strided sweeps over the level
       // hierarchy inside u (stride grows with coarsening).
-      ctx.compute(WorkBuilder()
+      ctx.compute(WorkBuilder(drift.factor(it, 2))
                       .flops(3.0 * static_cast<double>(n_u))
                       .strided(u, n_u / 2, 128, 0.5)
                       .strided(u, n_u / 8, 512, 0.5)
@@ -80,7 +82,7 @@ class MgWorkload final : public Workload {
       checksum += stencil_touch(u->as_span<double>(), 64);
 
       // Phase: smoother — psinv stream over u and r.
-      ctx.compute(WorkBuilder()
+      ctx.compute(WorkBuilder(drift.factor(it, 3))
                       .flops(4.0 * static_cast<double>(n_u))
                       .seq(r, n_r)
                       .seq(u, n_u, 0.5)

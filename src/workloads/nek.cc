@@ -65,6 +65,7 @@ class NekWorkload final : public Workload {
 
     double checksum = 0;
     mpi::Comm& comm = *ctx.comm();
+    DriftSchedule drift(cfg);
     ctx.start();
     for (int it = 0; it < cfg.iterations; ++it) {
       ctx.iteration_begin();
@@ -78,7 +79,7 @@ class NekWorkload final : public Workload {
 
       // Phase 1: momentum solve — hot on vars[0..7].
       {
-        WorkBuilder w;
+        WorkBuilder w(drift.factor(it, 0));
         w.flops(6.0 * static_cast<double>(n_var));
         for (int i = 0; i < 4; ++i) w.seq(vars[i], 6 * n_var, 0.4);
         ctx.compute(w.work());
@@ -91,7 +92,7 @@ class NekWorkload final : public Workload {
       // Phase 2: pressure solve — hot on an 8-variable window that shifts
       // when the preconditioner drifts.
       {
-        WorkBuilder w;
+        WorkBuilder w(drift.factor(it, 1));
         w.flops(8.0 * static_cast<double>(n_var));
         for (int i = p_lo; i < p_lo + 4; ++i)
           w.seq(vars[i], 6 * n_var, 0.4);
@@ -104,7 +105,7 @@ class NekWorkload final : public Workload {
 
       // Phase 3: geometry / dealiasing — hot on the geometry arrays.
       {
-        WorkBuilder w;
+        WorkBuilder w(drift.factor(it, 2));
         w.flops(6.0 * static_cast<double>(n_geom) * geom_passes);
         for (int i = 0; i < kNumGeom; ++i)
           w.seq(geom[i], static_cast<std::uint64_t>(geom_passes) * n_geom,
@@ -120,7 +121,7 @@ class NekWorkload final : public Workload {
 
       // Phase 4: scalar transport + gs_op — hot on vars[16..23].
       {
-        WorkBuilder w;
+        WorkBuilder w(drift.factor(it, 3));
         w.flops(4.0 * static_cast<double>(n_var));
         for (int i = 16; i < 20; ++i) w.seq(vars[i], 6 * n_var, 0.4);
         w.gather(vars[16], n_var / 2);

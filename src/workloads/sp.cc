@@ -65,12 +65,13 @@ class SpWorkload final : public Workload {
 
     double checksum = 0;
     mpi::Comm& comm = *ctx.comm();
+    DriftSchedule drift(cfg);
     ctx.start();
     for (int it = 0; it < cfg.iterations; ++it) {
       ctx.iteration_begin();
 
       // Phase: compute_rhs — bulk streams over u/forcing/aux into rhs.
-      ctx.compute(WorkBuilder()
+      ctx.compute(WorkBuilder(drift.factor(it, 0))
                       .flops(6.0 * static_cast<double>(n_rhs))
                       .seq(u, n_u)
                       .seq(forcing, n_forc)
@@ -87,7 +88,7 @@ class SpWorkload final : public Workload {
 
       // Phase: x_solve — dependent recurrences along lines: lhs is swept
       // with serialized accesses (latency-sensitive), rhs updated.
-      ctx.compute(WorkBuilder()
+      ctx.compute(WorkBuilder(drift.factor(it, 1))
                       .flops(4.0 * static_cast<double>(n_lhs))
                       .seq(lhs, n_lhs, 0.3, /*mlp=*/1)
                       .seq(rhs, n_rhs, 0.5, /*mlp=*/12)
@@ -95,7 +96,7 @@ class SpWorkload final : public Workload {
       checksum += stencil_touch(lhs->as_span<double>(), 4);
 
       // Phase: pack + boundary exchange (bandwidth-heavy buffer streams).
-      ctx.compute(WorkBuilder()
+      ctx.compute(WorkBuilder(drift.factor(it, 2))
                       .flops(static_cast<double>(n_buf))
                       .seq(rhs, n_buf)
                       .seq(out_buffer, 2 * n_buf, 1.0)
@@ -104,7 +105,7 @@ class SpWorkload final : public Workload {
                     100 + it % 7);
 
       // Phase: unpack + y_solve.
-      ctx.compute(WorkBuilder()
+      ctx.compute(WorkBuilder(drift.factor(it, 3))
                       .flops(4.0 * static_cast<double>(n_lhs))
                       .seq(in_buffer, 2 * n_buf)
                       .seq(lhs, n_lhs, 0.3, /*mlp=*/1)
@@ -114,7 +115,7 @@ class SpWorkload final : public Workload {
       checksum += stencil_touch(lhs->as_span<double>(), 16);
 
       // Phase: second exchange (z sweep boundary).
-      ctx.compute(WorkBuilder()
+      ctx.compute(WorkBuilder(drift.factor(it, 4))
                       .flops(static_cast<double>(n_buf))
                       .seq(out_buffer, 2 * n_buf, 1.0)
                       .seq(rhs, n_buf)
@@ -123,7 +124,7 @@ class SpWorkload final : public Workload {
                     200 + it % 7);
 
       // Phase: z_solve + add — lhs recurrence, final u update.
-      ctx.compute(WorkBuilder()
+      ctx.compute(WorkBuilder(drift.factor(it, 5))
                       .flops(5.0 * static_cast<double>(n_lhs))
                       .seq(lhs, n_lhs, 0.3, /*mlp=*/1)
                       .seq(rhs, n_rhs, 0.3, /*mlp=*/12)

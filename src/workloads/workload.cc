@@ -1,8 +1,29 @@
 #include "workloads/workload.h"
 
+#include <algorithm>
 #include <stdexcept>
 
+#include "common/rng.h"
+
 namespace unimem::wl {
+
+DriftSchedule::DriftSchedule(const WorkloadConfig& cfg)
+    : amplitude_(cfg.drift_amplitude),
+      period_(std::max(1, cfg.drift_period)),
+      seed_(cfg.drift_seed) {}
+
+double DriftSchedule::factor(int iteration, std::size_t phase) const {
+  if (amplitude_ <= 0) return 1.0;
+  const std::uint64_t window =
+      static_cast<std::uint64_t>(iteration < 0 ? 0 : iteration) /
+      static_cast<std::uint64_t>(period_);
+  // One independent draw per (window, phase): SplitMix64 seeded from the
+  // pair, burning one output to decorrelate nearby seeds.
+  Rng rng(seed_ ^ (window * 0x9e3779b97f4a7c15ull) ^
+          (static_cast<std::uint64_t>(phase) * 0xbf58476d1ce4e5b9ull));
+  rng.next();
+  return std::max(0.05, 1.0 + amplitude_ * rng.uniform(-1.0, 1.0));
+}
 
 std::unique_ptr<Workload> make_cg();
 std::unique_ptr<Workload> make_ft();

@@ -13,6 +13,7 @@
 // produced.
 #pragma once
 
+#include <cstdint>
 #include <memory>
 #include <string>
 #include <vector>
@@ -28,6 +29,19 @@ struct WorkloadConfig {
   int iterations = 10;
   /// Ranks sharing the global problem (strong scaling divides the data).
   int nranks = 4;
+
+  // ---- drift injection (dynamic-workload scenarios) ---------------------
+  /// Amplitude of the seeded multiplicative perturbation DriftSchedule
+  /// applies to each phase's declared access counts: factors are drawn
+  /// uniformly from [1 - a, 1 + a).  0 (default) = static workload.
+  /// Perturbs only the *modeled* traffic, never the touch kernels, so
+  /// checksums stay placement- and drift-invariant.
+  double drift_amplitude = 0.0;
+  /// Iterations per drift window: factors re-draw every `drift_period`
+  /// iterations (piecewise-constant step drifts, the shape the adaptive
+  /// re-planner's epoch cadence is built to catch).
+  int drift_period = 4;
+  std::uint64_t drift_seed = 0x9e3779b9ull;
 
   /// Global problem footprint for the class across all ranks.  Chosen so
   /// that at the paper's base configuration (class C, 4 ranks, 8 MiB DRAM
@@ -46,6 +60,30 @@ struct WorkloadConfig {
   std::size_t rank_bytes() const {
     return global_footprint() / static_cast<std::size_t>(nranks < 1 ? 1 : nranks);
   }
+};
+
+/// Seeded drift-injection schedule: a multiplicative access-weight factor
+/// per (iteration window, phase), piecewise-constant over
+/// `drift_period` iterations.  Pure function of the config — identical on
+/// every rank, so collectives stay balanced and runs stay deterministic.
+/// Workloads feed the factor to WorkBuilder's scale so per-unit profile
+/// weights genuinely shift between windows (each phase drifts
+/// independently, and units mix phases differently).
+class DriftSchedule {
+ public:
+  explicit DriftSchedule(const WorkloadConfig& cfg);
+
+  bool active() const { return amplitude_ > 0; }
+
+  /// Scale factor for phase `phase` of iteration `iteration`; 1.0 when
+  /// drift is off.  Clamped to >= 0.05 so extreme amplitudes never turn a
+  /// phase's traffic negative.
+  double factor(int iteration, std::size_t phase) const;
+
+ private:
+  double amplitude_;
+  int period_;
+  std::uint64_t seed_;
 };
 
 class Workload {

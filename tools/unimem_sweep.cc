@@ -188,11 +188,11 @@ int run_cli(int argc, char** argv) {
   }
 
   if (a.list) {
-    std::printf("%-8s %-7s %s\n", "spec", "points", "title");
+    std::printf("%-12s %-7s %s\n", "spec", "points", "title");
     for (const std::string& name : sweep::spec_names()) {
       sweep::SweepSpec s = *sweep::spec_by_name(name);
       if (a.smoke || sweep::smoke_requested()) s = sweep::smoke_clamped(s);
-      std::printf("%-8s %-7zu %s\n", name.c_str(), s.size(), s.title.c_str());
+      std::printf("%-12s %-7zu %s\n", name.c_str(), s.size(), s.title.c_str());
     }
     return 0;
   }
