@@ -17,8 +17,11 @@
 #include "common/units.h"
 #include "core/knapsack.h"
 #include "core/migration.h"
+#include "core/profiler.h"
 #include "core/registry.h"
+#include "core/sampled_profile.h"
 #include "minimpi/comm.h"
+#include "perfmon/sample_gate.h"
 #include "simcache/analytic_cache.h"
 #include "simcache/exact_cache.h"
 #include "simmem/arena.h"
@@ -237,6 +240,90 @@ void BM_ExactCachePointerChaseProduction(benchmark::State& state) {
                           static_cast<std::int64_t>(d.accesses));
 }
 BENCHMARK(BM_ExactCachePointerChaseProduction)->Unit(benchmark::kMillisecond);
+
+// ---------------------------------------------------------------------------
+// Profiling tiers (BENCH_components.json `profiler_sampled_speedup`): the
+// cost of consuming one PMU miss event.  Exact mode attributes every
+// address inline on the rank thread through the registry's locked interval
+// map; sampled mode pays one countdown-gate check per event, buffers the
+// few captured addresses, and ships them to the ProfileAggregator, which
+// attributes out of band against an immutable snapshot.  Registry shape is
+// production-like: hundreds of chunk-scale objects, so inline attribution
+// walks a deep map with a cache-hostile random stream.
+
+constexpr std::size_t kProfObjects = 1024;
+constexpr std::size_t kProfEvents = 1 << 18;
+
+std::vector<std::uint64_t> make_miss_stream(const rt::Registry& reg,
+                                            std::size_t n) {
+  auto snap = reg.addr_snapshot();
+  Rng rng(42);
+  std::vector<std::uint64_t> addrs(n);
+  for (auto& a : addrs) {
+    const auto& s = (*snap)[rng.below(snap->size())];
+    a = s.lo + rng.below((s.hi - s.lo) / kCacheLine) * kCacheLine;
+  }
+  return addrs;
+}
+
+void BM_ProfilerExactAccessProduction(benchmark::State& state) {
+  mem::HeteroMemory hms(mem::HmsConfig::scaled(0.5, 1.0, 16 << 20, 64 << 20));
+  rt::Registry reg(&hms, nullptr);
+  for (std::size_t i = 0; i < kProfObjects; ++i)
+    reg.create("o" + std::to_string(i), 64 * kKiB, {}, mem::Tier::kNvm);
+  const auto addrs = make_miss_stream(reg, kProfEvents);
+  perf::PhaseSamples s;
+  s.total_samples = addrs.size();
+  s.total_miss_count = addrs.size();
+  s.miss_addresses = addrs;
+  rt::Profiler prof(&reg);
+  for (auto _ : state) {
+    prof.begin_iteration();
+    prof.record_phase(s, 1.0);
+    benchmark::DoNotOptimize(prof.phase_count());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(addrs.size()));
+}
+BENCHMARK(BM_ProfilerExactAccessProduction)->Unit(benchmark::kMillisecond);
+
+void BM_ProfilerSampledAccessProduction(benchmark::State& state) {
+  mem::HeteroMemory hms(mem::HmsConfig::scaled(0.5, 1.0, 16 << 20, 64 << 20));
+  rt::Registry reg(&hms, nullptr);
+  for (std::size_t i = 0; i < kProfObjects; ++i)
+    reg.create("o" + std::to_string(i), 64 * kKiB, {}, mem::Tier::kNvm);
+  const auto addrs = make_miss_stream(reg, kProfEvents);
+  auto snap = reg.addr_snapshot();
+  rt::ProfileAggregator agg;
+  Rng seeds(7);
+  std::size_t slot = 0;
+  for (auto _ : state) {
+    // The timed region is the rank-thread critical path: gate every event,
+    // buffer the captures, hand the batch off.  Aggregation is overlapped
+    // with the next phase's compute in production, so the drain that keeps
+    // the queue bounded here runs untimed.
+    perf::SampleGate gate(64, seeds.next());
+    perf::PhaseSamples ps;
+    ps.total_miss_count = addrs.size();
+    for (std::uint64_t a : addrs) {
+      if (!gate.take()) continue;
+      ++ps.total_samples;
+      ps.miss_addresses.push_back(a);
+    }
+    rt::ProfileAggregator::Batch b;
+    b.slot = slot++;
+    b.phase_time_s = 1.0;
+    b.snapshot = snap;
+    b.samples = std::move(ps);
+    agg.submit(std::move(b));
+    state.PauseTiming();
+    benchmark::DoNotOptimize(agg.drain().size());
+    state.ResumeTiming();
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(addrs.size()));
+}
+BENCHMARK(BM_ProfilerSampledAccessProduction)->Unit(benchmark::kMillisecond);
 
 // ---------------------------------------------------------------------------
 

@@ -42,5 +42,15 @@ jq --arg lbl "$LABEL" --slurpfile bench "$TMP" '
                value: (($pre[.name] / .real_time) * 100 | round / 100)})
         | from_entries)
     else . end
+  # Sampled vs exact profiling tier: per-access cost ratio from the label
+  # just recorded (events/s of the gated path over the inline path).
+  | (.[$lbl] | map(select(.items_per_second != null)
+       | {key: .name, value: .items_per_second}) | from_entries) as $ips
+  | if ($ips["BM_ProfilerExactAccessProduction"] != null and
+        $ips["BM_ProfilerSampledAccessProduction"] != null) then
+      .profiler_sampled_speedup = (
+        ($ips["BM_ProfilerSampledAccessProduction"] /
+         $ips["BM_ProfilerExactAccessProduction"]) * 100 | round / 100)
+    else . end
 ' "$OUT" > "$OUT.tmp" && mv "$OUT.tmp" "$OUT"
 echo "recorded '$LABEL' in $OUT"

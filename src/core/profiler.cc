@@ -2,7 +2,29 @@
 
 #include <algorithm>
 
+#include "common/log.h"
+
 namespace unimem::rt {
+
+std::map<UnitRef, UnitPhaseProfile> apportion_profile(
+    const std::map<UnitRef, std::uint64_t>& counts, std::uint64_t attributed,
+    std::uint64_t total_samples, std::uint64_t total_miss_count,
+    double phase_time_s) {
+  std::map<UnitRef, UnitPhaseProfile> out;
+  if (attributed == 0 || total_samples == 0) return out;
+  for (const auto& [unit, n] : counts) {
+    UnitPhaseProfile p;
+    // Apportion the precise aggregate miss counter by sample share.
+    p.est_accesses = static_cast<std::uint64_t>(
+        static_cast<double>(total_miss_count) * static_cast<double>(n) /
+        static_cast<double>(attributed));
+    p.time_fraction =
+        static_cast<double>(n) / static_cast<double>(total_samples);
+    p.phase_time_s = phase_time_s;
+    if (p.est_accesses > 0) out.emplace(unit, p);
+  }
+  return out;
+}
 
 void Profiler::record_phase(const perf::PhaseSamples& samples,
                             double phase_time_s) {
@@ -19,20 +41,21 @@ void Profiler::record_phase(const perf::PhaseSamples& samples,
     }
   }
 
-  if (attributed > 0 && samples.total_samples > 0) {
-    for (const auto& [unit, n] : counts) {
-      UnitPhaseProfile p;
-      // Apportion the precise aggregate miss counter by sample share.
-      p.est_accesses = static_cast<std::uint64_t>(
-          static_cast<double>(samples.total_miss_count) *
-          static_cast<double>(n) / static_cast<double>(attributed));
-      p.time_fraction = static_cast<double>(n) /
-                        static_cast<double>(samples.total_samples);
-      p.phase_time_s = phase_time_s;
-      if (p.est_accesses > 0) obs.units.emplace(unit, p);
-    }
-  }
+  obs.units = apportion_profile(counts, attributed, samples.total_samples,
+                                samples.total_miss_count, phase_time_s);
   phases_.push_back(std::move(obs));
+}
+
+std::size_t Profiler::record_phase_pending(double phase_time_s) {
+  PhaseObservation obs;
+  obs.phase_time_s = phase_time_s;
+  phases_.push_back(std::move(obs));
+  return phases_.size() - 1;
+}
+
+void Profiler::fill_phase(std::size_t slot,
+                          std::map<UnitRef, UnitPhaseProfile> units) {
+  phases_.at(slot).units = std::move(units);
 }
 
 void Profiler::record_comm_phase(double phase_time_s) {
@@ -42,25 +65,55 @@ void Profiler::record_comm_phase(double phase_time_s) {
   phases_.push_back(std::move(obs));
 }
 
-void Profiler::fold(std::size_t periods) {
-  if (periods <= 1 || phases_.empty()) return;
-  if (phases_.size() % periods != 0) return;
-  const std::size_t P = phases_.size() / periods;
+FoldStatus Profiler::fold(std::size_t periods) {
+  if (periods <= 1 || phases_.empty()) return FoldStatus::kOk;
+  // Fold the largest divisible prefix; a partially recorded trailing
+  // iteration is dropped rather than silently leaving the profile
+  // un-averaged.
+  const std::size_t usable = (phases_.size() / periods) * periods;
+  const bool truncated = usable != phases_.size();
+  if (usable == 0) {
+    Log::info("profiler: fold(%zu) has only %zu phases; nothing folded",
+              periods, phases_.size());
+    return FoldStatus::kTruncated;
+  }
+  const std::size_t P = usable / periods;
+  // Phase kinds must agree position-for-position across periods — a
+  // mismatch means the periods are not repetitions of the same iteration
+  // structure and averaging them would be meaningless.
+  for (std::size_t i = P; i < usable; ++i) {
+    if (phases_[i].is_communication != phases_[i % P].is_communication) {
+      Log::info(
+          "profiler: fold(%zu) phase-kind mismatch at phase %zu; "
+          "nothing folded",
+          periods, i);
+      return FoldStatus::kKindMismatch;
+    }
+  }
   std::vector<PhaseObservation> folded(P);
-  for (std::size_t i = 0; i < phases_.size(); ++i) {
+  // Accumulate raw sums, divide once at the end: per-period integer
+  // division would lose up to periods-1 accesses per unit.
+  std::vector<std::map<UnitRef, std::uint64_t>> access_sums(P);
+  for (std::size_t i = 0; i < usable; ++i) {
     PhaseObservation& dst = folded[i % P];
     const PhaseObservation& src = phases_[i];
     dst.phase_time_s += src.phase_time_s / static_cast<double>(periods);
     dst.is_communication = src.is_communication;
     for (const auto& [u, prof] : src.units) {
       UnitPhaseProfile& agg = dst.units[u];
-      agg.est_accesses += prof.est_accesses / periods;
+      access_sums[i % P][u] += prof.est_accesses;
       agg.time_fraction += prof.time_fraction / static_cast<double>(periods);
     }
   }
+  for (std::size_t p = 0; p < P; ++p)
+    for (auto& [u, prof] : folded[p].units)
+      prof.est_accesses = (access_sums[p][u] + periods / 2) / periods;
   for (auto& ph : folded)
     for (auto& [u, prof] : ph.units) prof.phase_time_s = ph.phase_time_s;
   phases_ = std::move(folded);
+  if (truncated)
+    Log::info("profiler: fold dropped a partial trailing iteration");
+  return truncated ? FoldStatus::kTruncated : FoldStatus::kOk;
 }
 
 int Profiler::last_reference_before(std::size_t phase, UnitRef u) const {

@@ -29,6 +29,24 @@ struct PhaseObservation {
   bool references(UnitRef u) const { return units.count(u) != 0; }
 };
 
+/// Apportion one phase's PMU evidence into per-unit profiles: the precise
+/// aggregate miss counter is split by each unit's share of attributed
+/// address samples, and time_fraction is Eq. 1's samples-with-data /
+/// total-samples.  Shared by the inline (exact) and deferred (sampled)
+/// attribution paths so both produce identical profiles for identical
+/// evidence.
+std::map<UnitRef, UnitPhaseProfile> apportion_profile(
+    const std::map<UnitRef, std::uint64_t>& counts, std::uint64_t attributed,
+    std::uint64_t total_samples, std::uint64_t total_miss_count,
+    double phase_time_s);
+
+/// Outcome of Profiler::fold (see below).
+enum class FoldStatus {
+  kOk,            ///< every recorded phase participated in the average
+  kTruncated,     ///< a non-divisible tail was dropped before folding
+  kKindMismatch,  ///< phase kinds disagree across periods; nothing folded
+};
+
 class Profiler {
  public:
   explicit Profiler(const Registry* registry) : registry_(registry) {}
@@ -42,14 +60,34 @@ class Profiler {
   /// Record a communication phase (no object attribution).
   void record_comm_phase(double phase_time_s);
 
+  /// Sampled-tier support: append an empty computation-phase observation
+  /// now (keeping the phase sequence in program order) and fill in its
+  /// per-unit profiles later, once out-of-band attribution finishes.
+  /// Returns the slot index to pass to fill_phase.  Both calls must come
+  /// from the rank thread; only the aggregator's *own* state is touched
+  /// off-thread.
+  std::size_t record_phase_pending(double phase_time_s);
+  void fill_phase(std::size_t slot, std::map<UnitRef, UnitPhaseProfile> units);
+
   const std::vector<PhaseObservation>& phases() const { return phases_; }
   std::size_t phase_count() const { return phases_.size(); }
 
   /// Merge `periods` consecutive profiled iterations into one averaged
   /// iteration profile (paper §3: "profiles memory references ... with a
-  /// few invocations of each phase").  No-op unless the recorded phase
-  /// count is an exact multiple of the period.
-  void fold(std::size_t periods);
+  /// few invocations of each phase").
+  ///
+  /// Contract:
+  ///  * When the recorded phase count is not a multiple of `periods`, the
+  ///    largest divisible prefix is folded, the tail is dropped, and
+  ///    kTruncated is returned (a partially recorded last iteration must
+  ///    not silently keep the profile un-averaged, as it used to).
+  ///  * Phase kinds (compute vs communication) must agree across periods
+  ///    position-for-position; on disagreement nothing is folded and
+  ///    kKindMismatch is returned.
+  ///  * est_accesses are averaged by summing raw counts and dividing once,
+  ///    round-to-nearest — folding N identical periods reproduces one
+  ///    period's counts exactly.
+  FoldStatus fold(std::size_t periods);
 
   /// Most recent phase index < `phase` (cyclically, scanning at most one
   /// full iteration) that references `u`; -1 when no other phase does.

@@ -100,10 +100,12 @@ void Registry::add_alias(ObjectId id, void** alias) {
 void Registry::map_unit(const Chunk& c, UnitRef ref) {
   auto lo = reinterpret_cast<std::uint64_t>(c.data());
   addr_map_.insert(lo, lo + c.bytes, ref);
+  ++addr_version_;
 }
 
 void Registry::unmap_unit(const Chunk& c) {
   addr_map_.erase(reinterpret_cast<std::uint64_t>(c.data()));
+  ++addr_version_;
 }
 
 bool Registry::migrate(UnitRef unit, mem::Tier to) {
@@ -161,6 +163,26 @@ void Registry::finish_migration(const PendingCopy& c) {
 std::optional<UnitRef> Registry::attribute(std::uint64_t addr) const {
   std::lock_guard<std::mutex> lk(mu_);
   return addr_map_.find(addr);
+}
+
+std::uint64_t Registry::addr_version() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return addr_version_;
+}
+
+std::shared_ptr<const Registry::AddrSnapshot> Registry::addr_snapshot() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  if (snapshot_version_ != addr_version_) {
+    auto snap = std::make_shared<AddrSnapshot>();
+    snap->reserve(addr_map_.size());
+    addr_map_.for_each([&](std::uint64_t lo, std::uint64_t hi,
+                           const UnitRef& u) {
+      snap->push_back(AddrSpan{lo, hi, u});
+    });
+    snapshot_cache_ = std::move(snap);
+    snapshot_version_ = addr_version_;
+  }
+  return snapshot_cache_;
 }
 
 DataObject* Registry::get(ObjectId id) {

@@ -74,6 +74,27 @@ class Registry {
   /// Attribute a sampled miss address to a unit, if it belongs to one.
   std::optional<UnitRef> attribute(std::uint64_t addr) const;
 
+  /// One row of an attribution snapshot: unit mapped at [lo, hi).
+  struct AddrSpan {
+    std::uint64_t lo = 0;
+    std::uint64_t hi = 0;
+    UnitRef unit;
+  };
+  using AddrSnapshot = std::vector<AddrSpan>;
+
+  /// Monotonic counter bumped whenever the address map changes (create /
+  /// destroy / migrate).  Lets deferred-attribution callers cheaply decide
+  /// whether a cached addr_snapshot() is still current.
+  std::uint64_t addr_version() const;
+
+  /// Immutable copy of the address map, sorted by `lo`.  Sampled-mode
+  /// profiling attributes miss addresses off the rank thread against the
+  /// snapshot taken when the phase closed: migrations repoint the live map
+  /// synchronously on the rank thread (and freed ranges can be reused), so
+  /// a live lookup at drain time would misattribute.  The snapshot pins the
+  /// phase's own view.
+  std::shared_ptr<const AddrSnapshot> addr_snapshot() const;
+
   DataObject* get(ObjectId id);
   const DataObject* get(ObjectId id) const;
   DataObject* find(const std::string& name);
@@ -110,6 +131,11 @@ class Registry {
   mutable std::mutex mu_;
   std::vector<std::unique_ptr<DataObject>> objects_;
   IntervalMap<UnitRef> addr_map_;
+  std::uint64_t addr_version_ = 0;  // guarded by mu_
+  /// Cache: snapshot of addr_map_ at version snapshot_version_ (guarded by
+  /// mu_; shared_ptr hands out immutable views without copying per call).
+  mutable std::shared_ptr<const AddrSnapshot> snapshot_cache_;
+  mutable std::uint64_t snapshot_version_ = ~0ull;
 };
 
 }  // namespace unimem::rt

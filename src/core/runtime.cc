@@ -48,6 +48,16 @@ Runtime::Runtime(RuntimeOptions opts, mem::HeteroMemory* hms,
     replanner_ = std::make_unique<ReplanController>(registry_.get(),
                                                     model_.get(), ropts);
   }
+  if (opts_.profiler_mode == ProfilerMode::kSampled) {
+    aggregator_ = std::make_unique<ProfileAggregator>();
+    perf::AdaptiveRate::Options aopts;
+    aopts.base_period = std::max<std::uint64_t>(1, opts_.sample_period_mult);
+    aopts.max_period = opts_.sample_period_max;
+    aopts.high_watermark = opts_.sample_high_watermark;
+    aopts.low_watermark = opts_.sample_low_watermark;
+    aopts.enabled = opts_.adaptive_sampling;
+    adaptive_rate_ = std::make_unique<perf::AdaptiveRate>(aopts);
+  }
   if (comm_ != nullptr) comm_->set_hooks(this);
 }
 
@@ -166,6 +176,11 @@ void Runtime::iteration_begin() {
   }
   // Close the tail phase of the previous iteration.
   close_phase(false, 0.0);
+  // Sampled tier: the iteration boundary is the drain barrier — results
+  // land in the Profiler and the adaptive rate steps, both on the rank
+  // thread at this fixed point (deterministic regardless of when the
+  // aggregation thread actually ran).
+  flush_sampled_profile();
 
   if (mode_ == Mode::kProfiling &&
       ++profile_iters_in_row_ < std::max(1, opts_.profile_iterations)) {
@@ -208,6 +223,7 @@ void Runtime::iteration_begin() {
 
 void Runtime::end() {
   close_phase(false, 0.0);
+  flush_sampled_profile();
   double done_vt = migrator_->drain();
   double waited = clock().wait_until(done_vt);
   migrator_->add_exposed_wait(waited);
@@ -234,6 +250,28 @@ void Runtime::close_phase(bool is_comm, double comm_time) {
   if (mode_ == Mode::kProfiling || epoch_profiling_) {
     if (is_comm) {
       profiler_.record_comm_phase(phase_time);
+    } else if (aggregator_ != nullptr) {
+      // Sampled tier: gate the capture on a per-(rank, phase, epoch)
+      // seeded schedule, charge only the cheap on-thread cost, and defer
+      // attribution to the aggregation thread against the phase's own
+      // address-map snapshot.
+      perf::SampledConfig scfg;
+      scfg.period = adaptive_rate_->period();
+      scfg.seed = perf::schedule_seed(opts_.sampler_seed,
+                                      comm_ != nullptr ? comm_->rank() : 0,
+                                      phase_idx_, iteration_);
+      perf::PhaseSamples samples = sampler_->sample_phase(
+          phase_windows_, phase_compute_s_, phase_time, scfg);
+      profile_samples_ += samples.total_samples;
+      charge_overhead(static_cast<double>(samples.miss_addresses.size()) *
+                      opts_.overhead_per_sample_sampled_s);
+      ProfileAggregator::Batch b;
+      b.slot = profiler_.record_phase_pending(phase_time);
+      b.phase_time_s = phase_time;
+      b.snapshot = registry_->addr_snapshot();
+      b.samples = std::move(samples);
+      aggregator_->submit(std::move(b));
+      batches_pending_ = true;
     } else {
       perf::PhaseSamples samples =
           sampler_->sample_phase(phase_windows_, phase_compute_s_, phase_time);
@@ -346,7 +384,21 @@ void Runtime::compute(const PhaseWork& work) {
 // ---------------------------------------------------------------------------
 // Planning
 
+void Runtime::flush_sampled_profile() {
+  if (aggregator_ == nullptr || !batches_pending_) return;
+  batches_pending_ = false;
+  std::vector<ProfileAggregator::SlotProfile> results = aggregator_->drain();
+  std::uint64_t attributed = 0;
+  for (auto& r : results) {
+    attributed += r.attributed;
+    profiler_.fill_phase(r.slot, std::move(r.units));
+  }
+  profile_attributed_ += attributed;
+  adaptive_rate_->observe_iteration(attributed, results.size());
+}
+
 void Runtime::make_plan() {
+  flush_sampled_profile();  // defensive: fold must see completed profiles
   profiler_.fold(static_cast<std::size_t>(std::max(1, profile_iters_in_row_)));
   PlannerOptions popts;
   popts.local_search = opts_.enable_local_search;
@@ -377,6 +429,7 @@ void Runtime::make_plan() {
 }
 
 void Runtime::finish_epoch_check() {
+  flush_sampled_profile();  // defensive: decide() must see completed profiles
   ++replan_checks_;
   ReplanDecision d = replanner_->decide(profiler_);
   last_drift_fraction_ = d.drift.drift_fraction();
@@ -428,6 +481,9 @@ RuntimeStats Runtime::stats() const {
   s.incremental_repairs = incremental_repairs_;
   s.full_replans = full_replans_;
   s.last_drift_fraction = last_drift_fraction_;
+  s.profile_samples = profile_samples_;
+  s.profile_attributed = profile_attributed_;
+  s.sample_period_mult = adaptive_rate_ != nullptr ? adaptive_rate_->period() : 0;
   return s;
 }
 

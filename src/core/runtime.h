@@ -29,14 +29,23 @@
 #include "core/profiler.h"
 #include "core/registry.h"
 #include "core/replan.h"
+#include "core/sampled_profile.h"
 #include "minimpi/comm.h"
 #include "minimpi/pmpi.h"
+#include "perfmon/sample_gate.h"
 #include "perfmon/sampler.h"
 #include "simcache/analytic_cache.h"
 #include "simcache/exact_cache.h"
 #include "simclock/virtual_clock.h"
 
 namespace unimem::rt {
+
+/// Profiling tier.  kExact consumes every PMU sample inline on the rank
+/// thread (the original offline-planning path).  kSampled gates capture on
+/// a seeded schedule, defers attribution to an aggregation thread, and
+/// adapts its rate — the production-overhead tier (paper §3.1.1's PEBS
+/// framing; heapprofd-style out-of-band processing).
+enum class ProfilerMode { kExact, kSampled };
 
 struct RuntimeOptions {
   // ---- technique switches (Fig. 11 ablation) --------------------------
@@ -74,6 +83,18 @@ struct RuntimeOptions {
   int profile_iterations = 2;
   std::uint64_t sampler_seed = 42;
 
+  // ---- profiling tier (profiler_mode = sampled) ------------------------
+  ProfilerMode profiler_mode = ProfilerMode::kExact;
+  /// Base PMU events per captured sample (sampled mode; 1 = capture all).
+  std::uint64_t sample_period_mult = 64;
+  std::uint64_t sample_period_max = 4096;
+  /// Adaptive backoff: widen the period when phases already attribute
+  /// plenty of evidence, narrow it back when evidence runs thin.  Updated
+  /// only at drain barriers, so the period sequence is deterministic.
+  bool adaptive_sampling = true;
+  std::uint64_t sample_high_watermark = 512;
+  std::uint64_t sample_low_watermark = 64;
+
   /// DRAM bytes this rank plans with; 0 = node allowance / ranks_per_node.
   std::size_t dram_budget = 0;
   int ranks_per_node = 1;
@@ -81,7 +102,9 @@ struct RuntimeOptions {
   std::size_t chunk_bytes = 0;
 
   // ---- modeled runtime-overhead charges (virtual seconds) --------------
-  double overhead_per_sample_s = 25e-9;   ///< sample handling
+  double overhead_per_sample_s = 25e-9;   ///< exact: inline sample handling
+  /// sampled: gate + buffer only; attribution runs out of band.
+  double overhead_per_sample_sampled_s = 2e-9;
   double overhead_per_phase_s = 0.5e-6;   ///< queue status check / sync
   double overhead_per_plan_item_s = 1e-6; ///< modeling + knapsack per item
   double overhead_plan_fixed_s = 20e-6;
@@ -102,6 +125,11 @@ struct RuntimeStats {
   std::uint64_t incremental_repairs = 0;  ///< plans repaired in place
   std::uint64_t full_replans = 0;         ///< epoch checks that re-ran the DP
   double last_drift_fraction = 0;         ///< of the most recent check
+
+  // Sampled profiling tier (profiler_mode = sampled; zero in exact mode).
+  std::uint64_t profile_samples = 0;      ///< captured (gated) samples
+  std::uint64_t profile_attributed = 0;   ///< samples attributed to units
+  std::uint64_t sample_period_mult = 0;   ///< current adaptive period
 
   double overhead_percent() const {
     return total_time_s > 0 ? 100.0 * overhead_s / total_time_s : 0.0;
@@ -159,6 +187,11 @@ class Runtime final : public Context, public mpi::PmpiHooks {
   /// twin of compute()'s wait — see on_pre_op).
   void wait_for_buffer(const void* buf, std::size_t bytes);
   void enqueue_phase_migrations(std::size_t phase_idx);
+  /// Drain barrier for sampled-mode profiling: fold the aggregator's
+  /// finished results back into the Profiler and update the adaptive
+  /// rate.  No-op in exact mode or when nothing is pending.  Must run
+  /// before the profile is consumed (fold/plan/replan) or cleared.
+  void flush_sampled_profile();
   void make_plan();
   /// Consume the just-finished epoch profile: classify drift, then keep
   /// the plan, adopt the controller's incremental repair, or re-run the
@@ -178,6 +211,12 @@ class Runtime final : public Context, public mpi::PmpiHooks {
   std::unique_ptr<MigrationEngine> migrator_;
   std::unique_ptr<perf::Sampler> sampler_;
   Profiler profiler_;
+  /// Sampled tier only (nullptr in exact mode: true zero-cost path).
+  std::unique_ptr<ProfileAggregator> aggregator_;
+  std::unique_ptr<perf::AdaptiveRate> adaptive_rate_;
+  bool batches_pending_ = false;
+  std::uint64_t profile_samples_ = 0;
+  std::uint64_t profile_attributed_ = 0;
   ModelParams model_params_;
   std::unique_ptr<PerformanceModel> model_;
   std::unique_ptr<ReplanController> replanner_;

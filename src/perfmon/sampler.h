@@ -21,6 +21,7 @@
 #include <vector>
 
 #include "common/rng.h"
+#include "perfmon/sample_gate.h"
 #include "simclock/timing_params.h"
 
 namespace unimem::perf {
@@ -42,6 +43,15 @@ struct PhaseSamples {
   std::vector<std::uint64_t> miss_addresses;
 };
 
+/// Sampled-tier schedule for one phase (profiler_mode = sampled): only
+/// every ~`period`-th base PMU event is captured, on a SampleGate schedule
+/// seeded per (rank, phase, epoch) — see perfmon/sample_gate.h for the
+/// determinism contract.
+struct SampledConfig {
+  std::uint64_t period = 64;  ///< base PMU periods per captured sample
+  std::uint64_t seed = 0;     ///< schedule_seed(base, rank, phase, epoch)
+};
+
 class Sampler {
  public:
   explicit Sampler(clk::TimingParams params, std::uint64_t seed = 12345)
@@ -53,6 +63,18 @@ class Sampler {
   /// random address within that window's region.
   PhaseSamples sample_phase(const std::vector<MemWindow>& windows,
                             double compute_time_s, double phase_time_s);
+
+  /// Sampled-tier emulation of the same phase: the base sample clock still
+  /// ticks every sample_interval_cycles, but only gate-selected ticks are
+  /// captured.  total_samples counts the captured ticks (the denominator
+  /// of Eq. 1's time fraction) and total_miss_count stays the precise
+  /// aggregate counter, so apportioned estimates remain unbiased — just
+  /// noisier by ~sqrt(period).  Uses only `cfg.seed` (never the member
+  /// RNG), so exact-mode streams are bit-identical with or without
+  /// sampled-mode calls interleaved.
+  PhaseSamples sample_phase(const std::vector<MemWindow>& windows,
+                            double compute_time_s, double phase_time_s,
+                            const SampledConfig& cfg);
 
   const clk::TimingParams& params() const { return params_; }
 

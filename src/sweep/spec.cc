@@ -38,17 +38,18 @@ struct AxisSensitivity {
   bool nvm_ratios;  ///< nvm_bw_ratio / nvm_lat_mult
   bool dram;        ///< dram_capacity
   bool techniques;  ///< Unimem switch sets
+  bool profiler;    ///< profiler_periods (only Unimem profiles online)
 };
 
 AxisSensitivity sensitivity(exp::Policy p) {
   switch (p) {
-    case exp::Policy::kDramOnly: return {false, false, false};
-    case exp::Policy::kNvmOnly: return {true, false, false};
-    case exp::Policy::kUnimem: return {true, true, true};
+    case exp::Policy::kDramOnly: return {false, false, false, false};
+    case exp::Policy::kNvmOnly: return {true, false, false, false};
+    case exp::Policy::kUnimem: return {true, true, true, true};
     case exp::Policy::kXMen:
-    case exp::Policy::kManual: return {true, true, false};
+    case exp::Policy::kManual: return {true, true, false, false};
   }
-  return {true, true, true};
+  return {true, true, true, true};
 }
 
 template <typename T>
@@ -75,57 +76,73 @@ std::vector<SweepPoint> SweepSpec::expand(const std::string& filter) const {
           sens.nvm_ratios ? nvm_lat_mults : first_of(nvm_lat_mults);
       const auto drams = sens.dram ? dram_capacities : first_of(dram_capacities);
       const auto techs = sens.techniques ? techniques : first_of(techniques);
+      const auto profs =
+          sens.profiler ? profiler_periods : first_of(profiler_periods);
       for (double bw : bws) {
         for (double lat : lats) {
           for (std::size_t dram : drams) {
             for (int rpn : ranks_per_node) {
               for (const TechniqueSet& tech : techs) {
-                SweepPoint p;
-                p.index = index++;
-                p.cfg.workload = w;
-                p.cfg.wcfg.cls = cls;
-                p.cfg.wcfg.iterations = iterations;
-                p.cfg.wcfg.nranks = nranks;
-                p.cfg.wcfg.drift_amplitude = drift_amplitude;
-                p.cfg.wcfg.drift_period = drift_period;
-                p.cfg.replan_epoch = replan_epoch;
-                p.cfg.drift_threshold = drift_threshold;
-                p.cfg.nvm_bw_ratio = bw;
-                p.cfg.nvm_lat_mult = lat;
-                p.cfg.dram_capacity = dram;
-                p.cfg.ranks_per_node = rpn;
-                p.cfg.policy = policy;
-                p.cfg.net = net;
-                p.cfg.unimem = unimem;
-                p.cfg.unimem.enable_global_search = tech.global_search;
-                p.cfg.unimem.enable_local_search = tech.local_search;
-                p.cfg.unimem.enable_chunking = tech.chunking;
-                p.cfg.unimem.enable_initial_placement = tech.initial_placement;
-                p.normalize = normalize;
+                for (std::uint64_t prof : profs) {
+                  SweepPoint p;
+                  p.index = index++;
+                  p.cfg.workload = w;
+                  p.cfg.wcfg.cls = cls;
+                  p.cfg.wcfg.iterations = iterations;
+                  p.cfg.wcfg.nranks = nranks;
+                  p.cfg.wcfg.drift_amplitude = drift_amplitude;
+                  p.cfg.wcfg.drift_period = drift_period;
+                  p.cfg.replan_epoch = replan_epoch;
+                  p.cfg.drift_threshold = drift_threshold;
+                  p.cfg.nvm_bw_ratio = bw;
+                  p.cfg.nvm_lat_mult = lat;
+                  p.cfg.dram_capacity = dram;
+                  p.cfg.ranks_per_node = rpn;
+                  p.cfg.policy = policy;
+                  p.cfg.net = net;
+                  p.cfg.unimem = unimem;
+                  p.cfg.unimem.enable_global_search = tech.global_search;
+                  p.cfg.unimem.enable_local_search = tech.local_search;
+                  p.cfg.unimem.enable_chunking = tech.chunking;
+                  p.cfg.unimem.enable_initial_placement =
+                      tech.initial_placement;
+                  if (prof > 0) {
+                    p.cfg.unimem.profiler_mode = rt::ProfilerMode::kSampled;
+                    p.cfg.unimem.sample_period_mult = prof;
+                  }
+                  p.normalize = normalize;
 
-                p.axis["workload"] = w;
-                p.axis["policy"] = policy_slug(policy);
-                if (nvm_bw_ratios.size() > 1)
-                  p.axis["bw"] = sens.nvm_ratios ? fmt("%.3g", bw) : "*";
-                if (nvm_lat_mults.size() > 1)
-                  p.axis["lat"] = sens.nvm_ratios ? fmt("%.3g", lat) : "*";
-                if (dram_capacities.size() > 1)
-                  p.axis["dram"] =
-                      sens.dram
-                          ? std::to_string(dram / kMiB) + "MiB"
-                          : "*";
-                if (ranks_per_node.size() > 1)
-                  p.axis["rpn"] = std::to_string(rpn);
-                if (techniques.size() > 1)
-                  p.axis["tech"] = sens.techniques ? tech.name : "*";
+                  p.axis["workload"] = w;
+                  p.axis["policy"] = policy_slug(policy);
+                  if (nvm_bw_ratios.size() > 1)
+                    p.axis["bw"] = sens.nvm_ratios ? fmt("%.3g", bw) : "*";
+                  if (nvm_lat_mults.size() > 1)
+                    p.axis["lat"] = sens.nvm_ratios ? fmt("%.3g", lat) : "*";
+                  if (dram_capacities.size() > 1)
+                    p.axis["dram"] =
+                        sens.dram
+                            ? std::to_string(dram / kMiB) + "MiB"
+                            : "*";
+                  if (ranks_per_node.size() > 1)
+                    p.axis["rpn"] = std::to_string(rpn);
+                  if (techniques.size() > 1)
+                    p.axis["tech"] = sens.techniques ? tech.name : "*";
+                  if (profiler_periods.size() > 1)
+                    p.axis["prof"] =
+                        !sens.profiler
+                            ? "*"
+                            : prof == 0 ? std::string("exact")
+                                        : "s" + std::to_string(prof);
 
-                p.label = w + "/" + p.axis["policy"];
-                for (const char* key : {"bw", "lat", "dram", "rpn", "tech"}) {
-                  auto it = p.axis.find(key);
-                  if (it != p.axis.end() && it->second != "*")
-                    p.label += "/" + std::string(key) + it->second;
+                  p.label = w + "/" + p.axis["policy"];
+                  for (const char* key :
+                       {"bw", "lat", "dram", "rpn", "tech", "prof"}) {
+                    auto it = p.axis.find(key);
+                    if (it != p.axis.end() && it->second != "*")
+                      p.label += "/" + std::string(key) + it->second;
+                  }
+                  emit(p);
                 }
-                emit(p);
               }
             }
           }
@@ -354,6 +371,16 @@ SweepSpec make_spec(const std::string& name) {
       e.axis["mode"] = "static";
       s.explicit_points.push_back(std::move(e));
     }
+  } else if (name == "profiler_fidelity") {
+    // Sampled-tier fidelity matrix (not a paper figure): every workload
+    // planned from the exact profile vs sampled profiles at several base
+    // periods.  Normalized times pivot on the "prof" axis; a sampled
+    // column near its exact column means the thinner evidence still
+    // steered the knapsack to the same placement.
+    s.title = "Profiler fidelity: sampled-plan vs exact-plan time";
+    s.workloads = npb(true);
+    s.policies = {exp::Policy::kUnimem};
+    s.profiler_periods = {0, 16, 64, 256};
   } else if (name == "table4") {
     // Raw migration statistics (not normalized): one Unimem point per
     // workload at NVM = 1/2 bandwidth; the harness reads the row's
@@ -368,8 +395,9 @@ SweepSpec make_spec(const std::string& name) {
 }  // namespace
 
 std::vector<std::string> spec_names() {
-  return {"fig2",  "fig3",  "fig4",   "fig9",   "fig10",
-          "fig11", "fig12", "fig13",  "table4", "replan_drift"};
+  return {"fig2",  "fig3",  "fig4",   "fig9",         "fig10",
+          "fig11", "fig12", "fig13",  "table4",       "replan_drift",
+          "profiler_fidelity"};
 }
 
 std::optional<SweepSpec> spec_by_name(const std::string& name) {

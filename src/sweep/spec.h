@@ -16,6 +16,7 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <map>
 #include <optional>
 #include <string>
@@ -42,7 +43,7 @@ struct SweepPoint {
   std::size_t index = 0;       ///< position in expansion order (stable)
   std::string label;           ///< "cg/nvm-only/bw0.50/lat1.0/dram8MiB"
   /// Axis values by name ("workload", "policy", "bw", "lat", "dram",
-  /// "rpn", "tech") — the pivot keys for table-shaped consumers.
+  /// "rpn", "tech", "prof") — the pivot keys for table-shaped consumers.
   std::map<std::string, std::string> axis;
   exp::RunConfig cfg;
   /// Divide time by the memoized DRAM-only baseline of the same
@@ -62,6 +63,10 @@ struct SweepSpec {
   std::vector<std::size_t> dram_capacities{8 * kMiB};
   std::vector<int> ranks_per_node{1};
   std::vector<TechniqueSet> techniques{TechniqueSet{}};
+  /// Profiling-tier axis: 0 = exact profiler, N > 0 = sampled profiler
+  /// with base period N (rt::RuntimeOptions::sample_period_mult).  Only
+  /// kUnimem points are sensitive; static policies never profile.
+  std::vector<std::uint64_t> profiler_periods{0};
 
   // ---- shared scalars --------------------------------------------------
   char cls = 'C';

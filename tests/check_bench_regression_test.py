@@ -1,0 +1,156 @@
+#!/usr/bin/env python3
+"""Contract tests for scripts/check_bench_regression.py.
+
+Pins the pieces CI relies on: both input formats (raw google-benchmark
+--benchmark_out JSON and BENCH_components.json-style label files), the
+label fallback chains, aggregate-row skipping, time-unit scaling, and the
+exit-code contract (0 ok / nothing comparable, 1 regression past
+threshold, 2 usage or IO error).
+
+Run standalone (python3 tests/check_bench_regression_test.py) or via the
+`check_bench_regression_py` ctest; CHECK_SCRIPT overrides the script path.
+"""
+
+import json
+import os
+import subprocess
+import sys
+import tempfile
+import unittest
+
+SCRIPT = os.environ.get(
+    "CHECK_SCRIPT",
+    os.path.join(os.path.dirname(os.path.abspath(__file__)), os.pardir,
+                 "scripts", "check_bench_regression.py"))
+
+
+def bench_row(name, real_time_ms, unit="ms", run_type="iteration"):
+    return {"name": name, "real_time": real_time_ms, "time_unit": unit,
+            "run_type": run_type}
+
+
+def run_check(baseline, fresh, *extra):
+    """Write both payloads to temp files and run the script against them."""
+    with tempfile.TemporaryDirectory() as d:
+        bp = os.path.join(d, "baseline.json")
+        fp = os.path.join(d, "fresh.json")
+        with open(bp, "w") as f:
+            json.dump(baseline, f)
+        with open(fp, "w") as f:
+            json.dump(fresh, f)
+        return subprocess.run(
+            [sys.executable, SCRIPT, "--baseline", bp, "--fresh", fp, *extra],
+            capture_output=True, text=True)
+
+
+class CheckBenchRegressionTest(unittest.TestCase):
+    def test_ok_within_threshold(self):
+        baseline = {"post_pr": [bench_row("BM_A", 100.0)]}
+        fresh = {"benchmarks": [bench_row("BM_A", 110.0)]}  # +10% < 30%
+        r = run_check(baseline, fresh)
+        self.assertEqual(r.returncode, 0, r.stderr)
+        self.assertIn("within", r.stdout)
+
+    def test_regression_exits_1(self):
+        baseline = {"post_pr": [bench_row("BM_A", 100.0)]}
+        fresh = {"benchmarks": [bench_row("BM_A", 150.0)]}  # +50% > 30%
+        r = run_check(baseline, fresh)
+        self.assertEqual(r.returncode, 1, r.stdout)
+        self.assertIn("REGRESSION", r.stdout)
+        self.assertIn("regressed", r.stderr)
+
+    def test_threshold_flag_respected(self):
+        baseline = {"post_pr": [bench_row("BM_A", 100.0)]}
+        fresh = {"benchmarks": [bench_row("BM_A", 150.0)]}
+        r = run_check(baseline, fresh, "--threshold", "0.60")
+        self.assertEqual(r.returncode, 0, r.stdout)
+
+    def test_label_file_as_fresh_input(self):
+        # Fresh side in BENCH_components style with the default "ci" label.
+        baseline = {"post_pr": [bench_row("BM_A", 100.0)]}
+        fresh = {"ci": [bench_row("BM_A", 105.0)]}
+        r = run_check(baseline, fresh)
+        self.assertEqual(r.returncode, 0, r.stderr)
+
+    def test_baseline_label_fallback_to_pre_pr(self):
+        # No post_pr in the baseline: the pre_pr fallback must kick in.
+        baseline = {"pre_pr": [bench_row("BM_A", 100.0)]}
+        fresh = {"benchmarks": [bench_row("BM_A", 100.0)]}
+        r = run_check(baseline, fresh)
+        self.assertEqual(r.returncode, 0, r.stderr)
+
+    def test_fresh_label_fallback_chain(self):
+        # No "ci" label in the fresh file: falls back post_pr, then pre_pr.
+        baseline = {"post_pr": [bench_row("BM_A", 100.0)]}
+        fresh = {"pre_pr": [bench_row("BM_A", 100.0)]}
+        r = run_check(baseline, fresh)
+        self.assertEqual(r.returncode, 0, r.stderr)
+
+    def test_missing_labels_exit_2(self):
+        baseline = {"something_else": [bench_row("BM_A", 100.0)]}
+        fresh = {"benchmarks": [bench_row("BM_A", 100.0)]}
+        r = run_check(baseline, fresh)
+        self.assertEqual(r.returncode, 2, r.stdout)
+        self.assertIn("none of the labels", r.stderr)
+
+    def test_unreadable_file_exits_2(self):
+        with tempfile.TemporaryDirectory() as d:
+            fp = os.path.join(d, "fresh.json")
+            with open(fp, "w") as f:
+                json.dump({"benchmarks": []}, f)
+            r = subprocess.run(
+                [sys.executable, SCRIPT, "--baseline",
+                 os.path.join(d, "missing.json"), "--fresh", fp],
+                capture_output=True, text=True)
+        self.assertEqual(r.returncode, 2)
+        self.assertIn("cannot read", r.stderr)
+
+    def test_invalid_json_exits_2(self):
+        with tempfile.TemporaryDirectory() as d:
+            bp = os.path.join(d, "baseline.json")
+            fp = os.path.join(d, "fresh.json")
+            with open(bp, "w") as f:
+                f.write("{not json")
+            with open(fp, "w") as f:
+                json.dump({"benchmarks": []}, f)
+            r = subprocess.run(
+                [sys.executable, SCRIPT, "--baseline", bp, "--fresh", fp],
+                capture_output=True, text=True)
+        self.assertEqual(r.returncode, 2)
+
+    def test_nothing_comparable_is_ok(self):
+        # Disjoint benchmark sets: advisory gate must not fail the build.
+        baseline = {"post_pr": [bench_row("BM_OLD", 100.0)]}
+        fresh = {"benchmarks": [bench_row("BM_NEW", 100.0)]}
+        r = run_check(baseline, fresh)
+        self.assertEqual(r.returncode, 0, r.stdout)
+        self.assertIn("nothing", r.stdout)
+        self.assertIn("(new)", r.stdout)
+
+    def test_aggregate_rows_skipped(self):
+        # Repetition aggregates (mean/median/stddev) must not be compared —
+        # only the regressed mean row here, and it is skipped, so exit 0.
+        baseline = {"post_pr": [bench_row("BM_A", 100.0)]}
+        fresh = {"benchmarks": [
+            bench_row("BM_A_mean", 500.0, run_type="aggregate"),
+            bench_row("BM_A", 100.0),
+        ]}
+        r = run_check(baseline, fresh)
+        self.assertEqual(r.returncode, 0, r.stdout)
+        self.assertNotIn("BM_A_mean", r.stdout)
+
+    def test_time_unit_scaling(self):
+        # 0.1 s == 100 ms: same wall time in different units, no regression;
+        # and a ns-unit fresh row 50x the baseline must still trip.
+        baseline = {"post_pr": [bench_row("BM_A", 100.0, unit="ms"),
+                                bench_row("BM_B", 1.0, unit="ms")]}
+        fresh = {"benchmarks": [bench_row("BM_A", 0.1, unit="s"),
+                                bench_row("BM_B", 5e7, unit="ns")]}  # 50 ms
+        r = run_check(baseline, fresh)
+        self.assertEqual(r.returncode, 1, r.stdout)
+        self.assertIn("BM_B", r.stderr)
+        self.assertNotIn("BM_A", r.stderr)
+
+
+if __name__ == "__main__":
+    unittest.main()

@@ -174,7 +174,7 @@ TEST_F(ProfilerTest, FoldAveragesIterations) {
   prof_.record_comm_phase(1e-4);
   prof_.record_phase(samples_for(o, 100, 20000), 1e-3);
   prof_.record_comm_phase(1e-4);
-  prof_.fold(2);
+  EXPECT_EQ(prof_.fold(2), FoldStatus::kOk);
   ASSERT_EQ(prof_.phase_count(), 2u);
   const auto& u = prof_.phases()[0].units.at(UnitRef{o->id(), 0});
   EXPECT_EQ(u.est_accesses, 40000u);                    // mean of 60k/20k
@@ -182,13 +182,63 @@ TEST_F(ProfilerTest, FoldAveragesIterations) {
   EXPECT_TRUE(prof_.phases()[1].is_communication);
 }
 
-TEST_F(ProfilerTest, FoldRejectsNonDivisibleCounts) {
+TEST_F(ProfilerTest, FoldTruncatesNonDivisibleTail) {
   DataObject* o = reg_.create("o", kMiB, {}, mem::Tier::kNvm);
+  // 3 phases, period 2: the largest divisible prefix (2 phases = 2 periods
+  // of the 1-phase iteration) folds; the partial tail is dropped instead
+  // of silently leaving the profile un-averaged.
+  prof_.record_phase(samples_for(o, 10, 60000), 1e-3);
+  prof_.record_phase(samples_for(o, 10, 20000), 1e-3);
+  prof_.record_phase(samples_for(o, 10, 999999), 1e-3);
+  EXPECT_EQ(prof_.fold(2), FoldStatus::kTruncated);
+  ASSERT_EQ(prof_.phase_count(), 1u);
+  const auto& u = prof_.phases()[0].units.at(UnitRef{o->id(), 0});
+  EXPECT_EQ(u.est_accesses, 40000u);  // tail phase did not contaminate
+}
+
+TEST_F(ProfilerTest, FoldOfIdenticalPeriodsIsExact) {
+  DataObject* o = reg_.create("o", kMiB, {}, mem::Tier::kNvm);
+  // est_accesses = 100003 is not divisible by 3: per-period integer
+  // division would report 100002 (or worse).  Summing raw counts and
+  // dividing once must reproduce one period's counts exactly.
+  for (int i = 0; i < 3; ++i) {
+    prof_.record_phase(samples_for(o, 10, 100003), 1e-3);
+    prof_.record_comm_phase(1e-4);
+  }
+  EXPECT_EQ(prof_.fold(3), FoldStatus::kOk);
+  ASSERT_EQ(prof_.phase_count(), 2u);
+  const auto& u = prof_.phases()[0].units.at(UnitRef{o->id(), 0});
+  EXPECT_EQ(u.est_accesses, 100003u);
+}
+
+TEST_F(ProfilerTest, FoldRejectsPhaseKindMismatch) {
+  DataObject* o = reg_.create("o", kMiB, {}, mem::Tier::kNvm);
+  // Period 1 is (compute, comm) but period 2 is (comm, compute): the
+  // periods are not repetitions of one iteration structure, so nothing
+  // folds and the caller is told why.
   prof_.record_phase(samples_for(o, 10, 100), 1e-3);
+  prof_.record_comm_phase(1e-4);
+  prof_.record_comm_phase(1e-4);
   prof_.record_phase(samples_for(o, 10, 100), 1e-3);
-  prof_.record_phase(samples_for(o, 10, 100), 1e-3);
-  prof_.fold(2);  // 3 % 2 != 0 -> no-op
-  EXPECT_EQ(prof_.phase_count(), 3u);
+  EXPECT_EQ(prof_.fold(2), FoldStatus::kKindMismatch);
+  EXPECT_EQ(prof_.phase_count(), 4u);  // untouched
+}
+
+TEST_F(ProfilerTest, PendingPhaseFilledLater) {
+  DataObject* o = reg_.create("o", kMiB, {}, mem::Tier::kNvm);
+  // Sampled-tier shape: the observation is appended in program order
+  // (keeping comm/compute interleaving intact) and populated after
+  // out-of-band attribution.
+  std::size_t slot = prof_.record_phase_pending(1e-3);
+  prof_.record_comm_phase(1e-4);
+  ASSERT_EQ(prof_.phase_count(), 2u);
+  EXPECT_TRUE(prof_.phases()[slot].units.empty());
+  std::map<UnitRef, UnitPhaseProfile> units;
+  units[UnitRef{o->id(), 0}] = UnitPhaseProfile{5000, 0.25, 1e-3};
+  prof_.fill_phase(slot, units);
+  EXPECT_EQ(prof_.phases()[slot].units.at(UnitRef{o->id(), 0}).est_accesses,
+            5000u);
+  EXPECT_FALSE(prof_.phases()[slot].is_communication);
 }
 
 }  // namespace

@@ -1,0 +1,268 @@
+// Sampled profiling tier: gate/seed determinism, adaptive-rate control,
+// statistical fidelity of the thinned sample stream, out-of-band
+// aggregation equivalence, and snapshot-based attribution correctness
+// under migration.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
+#include "core/profiler.h"
+#include "core/registry.h"
+#include "core/sampled_profile.h"
+#include "perfmon/sample_gate.h"
+#include "perfmon/sampler.h"
+
+namespace unimem::rt {
+namespace {
+
+// ---------------------------------------------------------------------------
+// SampleGate / schedule_seed / AdaptiveRate
+
+TEST(SampleGate, SameSeedSameSchedule) {
+  perf::SampleGate a(16, 99), b(16, 99);
+  for (int i = 0; i < 10000; ++i) EXPECT_EQ(a.take(), b.take());
+}
+
+TEST(SampleGate, CaptureRateMatchesPeriod) {
+  const std::uint64_t period = 32;
+  perf::SampleGate gate(period, 7);
+  const int n = 1 << 20;
+  int captured = 0;
+  for (int i = 0; i < n; ++i) captured += gate.take() ? 1 : 0;
+  const double expected = static_cast<double>(n) / period;
+  EXPECT_NEAR(captured, expected, 0.05 * expected);
+}
+
+TEST(SampleGate, PeriodOneCapturesEverything) {
+  perf::SampleGate gate(1, 5);
+  for (int i = 0; i < 100; ++i) EXPECT_TRUE(gate.take());
+}
+
+TEST(ScheduleSeed, StableAndCoordinateSensitive) {
+  const std::uint64_t s = perf::schedule_seed(42, 1, 3, 7);
+  EXPECT_EQ(s, perf::schedule_seed(42, 1, 3, 7));  // pure function
+  EXPECT_NE(s, perf::schedule_seed(42, 0, 3, 7));  // rank matters
+  EXPECT_NE(s, perf::schedule_seed(42, 1, 4, 7));  // phase matters
+  EXPECT_NE(s, perf::schedule_seed(42, 1, 3, 8));  // epoch matters
+  EXPECT_NE(s, perf::schedule_seed(43, 1, 3, 7));  // base seed matters
+}
+
+TEST(AdaptiveRate, BacksOffAndRecovers) {
+  perf::AdaptiveRate::Options o;
+  o.base_period = 64;
+  o.max_period = 256;
+  o.high_watermark = 512;
+  o.low_watermark = 64;
+  perf::AdaptiveRate rate(o);
+  EXPECT_EQ(rate.period(), 64u);
+  rate.observe_iteration(10000, 4);  // 2500/phase: plenty -> widen
+  EXPECT_EQ(rate.period(), 128u);
+  rate.observe_iteration(10000, 4);
+  EXPECT_EQ(rate.period(), 256u);
+  rate.observe_iteration(10000, 4);  // clamped at max
+  EXPECT_EQ(rate.period(), 256u);
+  rate.observe_iteration(100, 4);    // 25/phase: thin -> narrow
+  EXPECT_EQ(rate.period(), 128u);
+  rate.observe_iteration(100, 4);
+  EXPECT_EQ(rate.period(), 64u);
+  rate.observe_iteration(100, 4);    // never below base
+  EXPECT_EQ(rate.period(), 64u);
+}
+
+TEST(AdaptiveRate, DisabledNeverMoves) {
+  perf::AdaptiveRate::Options o;
+  o.base_period = 64;
+  o.enabled = false;
+  perf::AdaptiveRate rate(o);
+  rate.observe_iteration(1 << 20, 1);
+  EXPECT_EQ(rate.period(), 64u);
+}
+
+// ---------------------------------------------------------------------------
+// Sampled stream fidelity + aggregation
+
+class SampledProfilerTest : public ::testing::Test {
+ protected:
+  SampledProfilerTest()
+      : hms_(mem::HmsConfig::scaled(0.5, 1.0, 8 * kMiB, 64 * kMiB)),
+        reg_(&hms_, nullptr) {}
+
+  perf::MemWindow window_for(DataObject* o, std::uint64_t misses,
+                             double mem_time_s) {
+    perf::MemWindow w;
+    w.region_base = reinterpret_cast<std::uint64_t>(o->chunk(0).data());
+    w.region_bytes = o->bytes();
+    w.misses = misses;
+    w.mem_time_s = mem_time_s;
+    return w;
+  }
+
+  mem::HeteroMemory hms_;
+  Registry reg_;
+};
+
+TEST_F(SampledProfilerTest, ExactStreamUnaffectedBySampledCalls) {
+  DataObject* o = reg_.create("o", kMiB, {}, mem::Tier::kNvm);
+  std::vector<perf::MemWindow> w{window_for(o, 100000, 2e-3)};
+  perf::Sampler a(clk::TimingParams{}, 42), b(clk::TimingParams{}, 42);
+  // Interleave sampled-mode calls on `b` only: the exact stream must stay
+  // bit-identical because sampled mode never touches the member RNG.
+  perf::SampledConfig cfg{8, 1234};
+  (void)b.sample_phase(w, 1e-3, 3e-3, cfg);
+  perf::PhaseSamples ea = a.sample_phase(w, 1e-3, 3e-3);
+  perf::PhaseSamples eb = b.sample_phase(w, 1e-3, 3e-3);
+  ASSERT_EQ(ea.miss_addresses.size(), eb.miss_addresses.size());
+  EXPECT_EQ(ea.miss_addresses, eb.miss_addresses);
+  EXPECT_EQ(ea.total_samples, eb.total_samples);
+}
+
+TEST_F(SampledProfilerTest, SampledScheduleIsSeedDeterministic) {
+  DataObject* o = reg_.create("o", kMiB, {}, mem::Tier::kNvm);
+  std::vector<perf::MemWindow> w{window_for(o, 100000, 2e-3)};
+  perf::Sampler s1(clk::TimingParams{}, 1), s2(clk::TimingParams{}, 2);
+  perf::SampledConfig cfg{16, perf::schedule_seed(42, 0, 3, 1)};
+  // Different member seeds, same SampledConfig: identical capture.
+  perf::PhaseSamples p1 = s1.sample_phase(w, 1e-3, 3e-3, cfg);
+  perf::PhaseSamples p2 = s2.sample_phase(w, 1e-3, 3e-3, cfg);
+  EXPECT_EQ(p1.total_samples, p2.total_samples);
+  EXPECT_EQ(p1.miss_addresses, p2.miss_addresses);
+  EXPECT_GT(p1.total_samples, 0u);
+}
+
+TEST_F(SampledProfilerTest, EstAccessesConvergeToMissShares) {
+  // Ground truth: A carries 3/4 of the misses and of the memory time, B
+  // 1/4.  The thinned stream must apportion the precise aggregate counter
+  // close to those shares — per seed within a loose band, and with the
+  // across-seed mean tight around the truth (unbiased, noisier by
+  // ~sqrt(period)).
+  DataObject* a = reg_.create("a", kMiB, {}, mem::Tier::kNvm);
+  DataObject* b = reg_.create("b", kMiB, {}, mem::Tier::kNvm);
+  std::vector<perf::MemWindow> w{window_for(a, 300000, 3e-3),
+                                 window_for(b, 100000, 1e-3)};
+  perf::Sampler sampler(clk::TimingParams{});
+  const double phase_time = 5e-3;  // 1e-3 compute + 4e-3 memory
+  double sum_a = 0;
+  const int kSeeds = 20;
+  for (int seed = 0; seed < kSeeds; ++seed) {
+    perf::SampledConfig cfg{8, perf::schedule_seed(100 + seed, 0, 0, 0)};
+    perf::PhaseSamples s = sampler.sample_phase(w, 1e-3, phase_time, cfg);
+    Profiler prof(&reg_);
+    prof.record_phase(s, phase_time);
+    const auto& units = prof.phases()[0].units;
+    const double est_a =
+        static_cast<double>(units.at(UnitRef{a->id(), 0}).est_accesses);
+    const double est_b =
+        static_cast<double>(units.at(UnitRef{b->id(), 0}).est_accesses);
+    EXPECT_NEAR(est_a + est_b, 400000.0, 2.0);  // counter stays precise
+    EXPECT_NEAR(est_a, 300000.0, 0.15 * 300000.0) << "seed " << seed;
+    sum_a += est_a;
+  }
+  EXPECT_NEAR(sum_a / kSeeds, 300000.0, 0.04 * 300000.0);
+}
+
+TEST_F(SampledProfilerTest, AggregatorMatchesInlineAttribution) {
+  // Identical evidence through the deferred path and the inline path must
+  // produce identical per-unit profiles.
+  DataObject* a = reg_.create("a", kMiB, {}, mem::Tier::kNvm);
+  DataObject* b = reg_.create("b", kMiB, {}, mem::Tier::kNvm);
+  std::vector<perf::MemWindow> w{window_for(a, 60000, 2e-3),
+                                 window_for(b, 20000, 1e-3)};
+  perf::Sampler sampler(clk::TimingParams{});
+  perf::SampledConfig cfg{4, 777};
+  perf::PhaseSamples s = sampler.sample_phase(w, 1e-3, 4e-3, cfg);
+  ASSERT_FALSE(s.miss_addresses.empty());
+
+  Profiler inline_prof(&reg_);
+  inline_prof.record_phase(s, 4e-3);
+
+  Profiler deferred_prof(&reg_);
+  ProfileAggregator agg;
+  ProfileAggregator::Batch batch;
+  batch.slot = deferred_prof.record_phase_pending(4e-3);
+  batch.samples = s;
+  batch.phase_time_s = 4e-3;
+  batch.snapshot = reg_.addr_snapshot();
+  agg.submit(std::move(batch));
+  auto results = agg.drain();
+  ASSERT_EQ(results.size(), 1u);
+  deferred_prof.fill_phase(results[0].slot, std::move(results[0].units));
+
+  const auto& pi = inline_prof.phases()[0].units;
+  const auto& pd = deferred_prof.phases()[0].units;
+  ASSERT_EQ(pi.size(), pd.size());
+  for (const auto& [u, prof] : pi) {
+    const auto it = pd.find(u);
+    ASSERT_NE(it, pd.end());
+    EXPECT_EQ(prof.est_accesses, it->second.est_accesses);
+    EXPECT_DOUBLE_EQ(prof.time_fraction, it->second.time_fraction);
+  }
+}
+
+TEST_F(SampledProfilerTest, SnapshotPinsAttributionAcrossMigration) {
+  // The batch snapshot must keep attributing the phase's addresses to the
+  // unit that owned them when the phase closed, even after a migration
+  // repoints the live address map (and the old range could be reused).
+  DataObject* o = reg_.create("o", kMiB, {}, mem::Tier::kNvm);
+  const auto old_base = reinterpret_cast<std::uint64_t>(o->chunk(0).data());
+  auto snap = reg_.addr_snapshot();
+
+  perf::PhaseSamples s;
+  s.total_samples = 100;
+  s.total_miss_count = 5000;
+  for (int i = 0; i < 50; ++i) s.miss_addresses.push_back(old_base + 64 * i);
+
+  ASSERT_TRUE(reg_.migrate(UnitRef{o->id(), 0}, mem::Tier::kDram));
+  // Live map no longer covers the old NVM range...
+  EXPECT_FALSE(reg_.attribute(old_base).has_value());
+
+  // ...but the snapshot taken at phase close still does.
+  ProfileAggregator agg;
+  ProfileAggregator::Batch batch;
+  batch.slot = 0;
+  batch.samples = std::move(s);
+  batch.phase_time_s = 1e-3;
+  batch.snapshot = snap;
+  agg.submit(std::move(batch));
+  auto results = agg.drain();
+  ASSERT_EQ(results.size(), 1u);
+  EXPECT_EQ(results[0].attributed, 50u);
+  EXPECT_EQ(results[0].units.at(UnitRef{o->id(), 0}).est_accesses, 5000u);
+}
+
+TEST_F(SampledProfilerTest, AddrVersionTracksMapChanges) {
+  const std::uint64_t v0 = reg_.addr_version();
+  DataObject* o = reg_.create("o", kMiB, {}, mem::Tier::kNvm);
+  const std::uint64_t v1 = reg_.addr_version();
+  EXPECT_GT(v1, v0);
+  auto s1 = reg_.addr_snapshot();
+  EXPECT_EQ(s1.get(), reg_.addr_snapshot().get());  // cached while unchanged
+  ASSERT_TRUE(reg_.migrate(UnitRef{o->id(), 0}, mem::Tier::kDram));
+  EXPECT_GT(reg_.addr_version(), v1);
+  EXPECT_NE(s1.get(), reg_.addr_snapshot().get());
+}
+
+TEST_F(SampledProfilerTest, DrainReturnsSlotSortedResults) {
+  DataObject* o = reg_.create("o", kMiB, {}, mem::Tier::kNvm);
+  auto snap = reg_.addr_snapshot();
+  const auto base = reinterpret_cast<std::uint64_t>(o->chunk(0).data());
+  ProfileAggregator agg;
+  for (std::size_t slot : {std::size_t{2}, std::size_t{0}, std::size_t{1}}) {
+    ProfileAggregator::Batch b;
+    b.slot = slot;
+    b.samples.total_samples = 10;
+    b.samples.total_miss_count = 100;
+    b.samples.miss_addresses = {base};
+    b.phase_time_s = 1e-3;
+    b.snapshot = snap;
+    agg.submit(std::move(b));
+  }
+  auto results = agg.drain();
+  ASSERT_EQ(results.size(), 3u);
+  for (std::size_t i = 0; i < 3; ++i) EXPECT_EQ(results[i].slot, i);
+  EXPECT_TRUE(agg.drain().empty());  // barrier consumed the results
+}
+
+}  // namespace
+}  // namespace unimem::rt

@@ -84,6 +84,44 @@ TEST(SweepSpec, TechniqueAxisOnlyMultipliesUnimemPoints) {
   }
 }
 
+TEST(SweepSpec, ProfilerAxisOnlyMultipliesUnimemPoints) {
+  SweepSpec s = *spec_by_name("profiler_fidelity");
+  const auto points = s.expand();
+  // 7 workloads x 4 profiler periods, Unimem-only.
+  EXPECT_EQ(points.size(), 7u * 4u);
+  std::set<std::string> labels;
+  for (const auto& p : points) {
+    labels.insert(p.label);
+    ASSERT_EQ(p.axis.at("policy"), "unimem");
+    const std::string& prof = p.axis.at("prof");
+    if (prof == "exact") {
+      EXPECT_EQ(p.cfg.unimem.profiler_mode, rt::ProfilerMode::kExact);
+    } else {
+      ASSERT_EQ(prof[0], 's') << prof;
+      EXPECT_EQ(p.cfg.unimem.profiler_mode, rt::ProfilerMode::kSampled);
+      EXPECT_EQ(p.cfg.unimem.sample_period_mult,
+                static_cast<std::uint64_t>(std::stoull(prof.substr(1))));
+    }
+  }
+  EXPECT_EQ(labels.size(), points.size()) << "labels must be unique";
+
+  // A policy that never profiles must collapse the axis instead of
+  // multiplying its points.
+  SweepSpec mixed = s;
+  mixed.workloads = {"cg"};
+  mixed.policies = {exp::Policy::kNvmOnly, exp::Policy::kUnimem};
+  std::size_t nvm_points = 0;
+  for (const auto& p : mixed.expand()) {
+    if (p.axis.at("policy") == "nvm-only") {
+      ++nvm_points;
+      EXPECT_EQ(p.axis.at("prof"), "*");
+    } else {
+      EXPECT_NE(p.axis.at("prof"), "*");
+    }
+  }
+  EXPECT_EQ(nvm_points, 1u);
+}
+
 TEST(SweepSpec, FilterKeepsOriginalIndices) {
   SweepSpec s = *spec_by_name("fig2");
   const auto all = s.expand();
@@ -124,7 +162,7 @@ TEST(SweepSpec, SmokeClampAlsoClampsExplicitPoints) {
 }
 
 TEST(SweepSpec, EveryRegisteredSpecExpands) {
-  EXPECT_EQ(spec_names().size(), 10u);
+  EXPECT_EQ(spec_names().size(), 11u);
   for (const std::string& name : spec_names()) {
     auto s = spec_by_name(name);
     ASSERT_TRUE(s.has_value()) << name;
@@ -596,6 +634,49 @@ TEST(SweepGoldenDeterminism, Fig12AndFig4AcrossJobsAndShards) {
     EXPECT_EQ(csv1, slurp(csv_m));
     EXPECT_EQ(jsonl1, slurp(jsonl_m));
   }
+}
+
+// Sampled profiling moves attribution onto a background thread; the
+// determinism contract (sampling schedules seeded per (rank, phase, epoch),
+// adaptive-rate updates only at drain barriers) must keep sweep artifacts a
+// pure function of the spec.  One exact + one sampled point per workload of
+// the smoke-clamped profiler_fidelity spec, run serial / 4-way threaded /
+// 2-way sharded-and-merged — byte-identical every way.
+TEST(SweepGoldenDeterminism, SampledProfilerAcrossJobsAndShards) {
+  SweepSpec spec = smoke_clamped(*spec_by_name("profiler_fidelity"));
+  spec.profiler_periods = {0, 64};  // exact + one sampled period per workload
+  const auto points = spec.expand();
+  ASSERT_EQ(points.size(), 7u * 2u);
+
+  const auto [csv1, jsonl1] = run_to_files(points, 1, "proffid_j1");
+  const auto [csv4, jsonl4] = run_to_files(points, 4, "proffid_j4");
+  EXPECT_EQ(csv1, csv4);
+  EXPECT_EQ(jsonl1, jsonl4);
+
+  const std::string dir = ::testing::TempDir();
+  std::vector<std::string> shard_files;
+  for (int shard = 0; shard < 2; ++shard) {
+    const std::string path =
+        dir + "/golden_proffid_shard" + std::to_string(shard) + ".jsonl";
+    SweepResultStore store;
+    store.stream_jsonl(path);
+    EngineOptions opts;
+    opts.jobs = 2;
+    opts.on_result = [&](const SweepRow& row) { store.add(row); };
+    SweepEngine engine(opts);
+    engine.run(shard_slice(points, shard, 2));
+    store.finish();
+    shard_files.push_back(path);
+  }
+  const std::string csv_m = dir + "/golden_proffid_merged.csv";
+  const std::string jsonl_m = dir + "/golden_proffid_merged.jsonl";
+  SweepResultStore merged;
+  merged.write_csv_at_finish(csv_m);
+  merged.write_jsonl_at_finish(jsonl_m);
+  for (const SweepRow& r : merge_shards(shard_files)) merged.add(r);
+  merged.finish();
+  EXPECT_EQ(csv1, slurp(csv_m));
+  EXPECT_EQ(jsonl1, slurp(jsonl_m));
 }
 
 // ---- result store ---------------------------------------------------------

@@ -55,6 +55,8 @@ void usage(std::FILE* out) {
       "  --shards N           fork N shard child processes and merge their rows\n"
       "  --merge FILE...      stitch per-shard JSONL files into --csv/--jsonl\n"
       "                       (with --spec: verify the merge covers the spec)\n"
+      "  --profiler exact|N   override the spec's profiling tier: exact, or\n"
+      "                       sampled with base period N (collapses the prof axis)\n"
       "  --smoke              clamp to smoke scale (same as UNIMEM_BENCH_SMOKE=1)\n"
       "  --quiet              suppress the stdout table\n",
       out);
@@ -63,6 +65,7 @@ void usage(std::FILE* out) {
 struct Args {
   std::string spec;
   std::string filter;
+  std::string profiler;  ///< --profiler exact|N ("" = spec default)
   std::string csv, jsonl, summary_json;
   std::vector<std::string> merge_inputs;
   int jobs = 0;
@@ -102,6 +105,17 @@ bool parse(int argc, char** argv, Args& a) {
       const char* v = value("--filter");
       if (v == nullptr) return false;
       a.filter = v;
+    } else if (arg == "--profiler") {
+      const char* v = value("--profiler");
+      if (v == nullptr) return false;
+      a.profiler = v;
+      if (a.profiler != "exact" && std::atol(a.profiler.c_str()) < 1) {
+        std::fprintf(stderr,
+                     "unimem_sweep: --profiler wants 'exact' or a period N "
+                     ">= 1 (got '%s')\n",
+                     v);
+        return false;
+      }
     } else if (arg == "--csv") {
       const char* v = value("--csv");
       if (v == nullptr) return false;
@@ -262,6 +276,14 @@ int run_cli(int argc, char** argv) {
     return 1;
   }
   if (a.smoke || sweep::smoke_requested()) *spec = sweep::smoke_clamped(*spec);
+  if (!a.profiler.empty()) {
+    // Collapse the profiling-tier axis to the requested value; explicit
+    // points keep their own configs (they never carry the prof axis).
+    spec->profiler_periods = {
+        a.profiler == "exact"
+            ? 0
+            : static_cast<std::uint64_t>(std::atol(a.profiler.c_str()))};
+  }
 
   auto points = spec->expand(a.filter);
   if (points.empty()) {
