@@ -42,6 +42,12 @@ stage_release() {
   # The unimem_sweep CLI end to end at smoke scale (tiny spec, parallel
   # engine, JSONL/CSV/summary outputs, drift-injected replan_drift spec).
   ctest --test-dir build -L sweep-smoke --output-on-failure -j "$JOBS"
+
+  echo "== [release] sweep service =="
+  # The coordinator/launcher service layer: strict CLI parsing, merge
+  # heuristics, injected-failure recovery, kill-and-resume, and the
+  # service_stress spec slice across forked workers.
+  ctest --test-dir build -L sweep-service --output-on-failure -j "$JOBS"
 }
 
 stage_asan() {
@@ -53,7 +59,7 @@ stage_asan() {
 }
 
 stage_tsan() {
-  echo "== [tsan] tsan configure + build + tier-1 + sweep smoke =="
+  echo "== [tsan] tsan configure + build + tier-1 + sweep smoke/service =="
   cmake -B build-tsan -S . -DUNIMEM_SANITIZE=thread -DCMAKE_BUILD_TYPE=Debug
   cmake --build build-tsan -j "$JOBS"
   TSAN_OPTIONS="${TSAN_OPTIONS:-halt_on_error=1}" \
@@ -63,6 +69,10 @@ stage_tsan() {
   # single-World suites.
   TSAN_OPTIONS="${TSAN_OPTIONS:-halt_on_error=1}" \
     ctest --test-dir build-tsan -L sweep-smoke --output-on-failure -j "$JOBS"
+  # The service layer too: the single-threaded coordinator forking
+  # multi-threaded task children is exactly the pattern TSan polices.
+  TSAN_OPTIONS="${TSAN_OPTIONS:-halt_on_error=1}" \
+    ctest --test-dir build-tsan -L sweep-service --output-on-failure -j "$JOBS"
 }
 
 STAGE="${1:-all}"

@@ -1,0 +1,265 @@
+#include "sweep/coordinator.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <deque>
+#include <map>
+#include <set>
+#include <stdexcept>
+#include <string>
+#include <utility>
+
+#include "sweep/result_store.h"
+
+namespace unimem::sweep {
+
+namespace {
+
+struct Chunk {
+  std::vector<SweepPoint> points;
+  int owner = 0;       ///< worker slot whose slice these points came from
+  int redispatch = 0;  ///< how many times a dying worker handed them back
+};
+
+bool read_task_meta(const std::string& path, CampaignOutcome* out) {
+  std::FILE* f = std::fopen(path.c_str(), "r");
+  if (f == nullptr) return false;
+  std::size_t worlds = 0, breq = 0, bcomp = 0, failed = 0, retries = 0;
+  int jobs = 0;
+  const int n = std::fscanf(f, "%zu %zu %zu %zu %d %zu", &worlds, &breq,
+                            &bcomp, &failed, &jobs, &retries);
+  std::fclose(f);
+  if (n != 6) return false;
+  out->worlds_executed += worlds;
+  out->baseline_requests += breq;
+  out->baseline_computed += bcomp;
+  out->retries += retries;
+  out->jobs_used = std::max(out->jobs_used, jobs);
+  return true;
+}
+
+}  // namespace
+
+CampaignOutcome run_campaign(const std::vector<SweepPoint>& points,
+                             const CoordinatorOptions& opts) {
+  if (opts.launcher == nullptr)
+    throw std::invalid_argument("run_campaign: launcher required");
+  if (opts.workers < 1)
+    throw std::invalid_argument("run_campaign: workers must be >= 1");
+  if (opts.scratch_dir.empty())
+    throw std::invalid_argument("run_campaign: scratch_dir required");
+  const auto t0 = std::chrono::steady_clock::now();
+
+  const std::size_t n = points.size();
+  std::map<std::size_t, std::size_t> pos_of;  // point index -> position
+  for (std::size_t i = 0; i < n; ++i) pos_of[points[i].index] = i;
+
+  CampaignOutcome out;
+  out.workers = opts.workers;
+  out.rows.resize(n);
+  std::vector<char> has(n, 0);
+  std::size_t done = 0;
+
+  auto finalize = [&](const SweepRow& row, std::size_t pos) {
+    has[pos] = 1;
+    out.rows[pos] = row;
+    ++done;
+    if (!row.ok) ++out.failed;
+    if (opts.on_final_row) opts.on_final_row(out.rows[pos]);
+  };
+
+  // Resume: accept prior ok rows up front (point order), re-run the rest.
+  for (const SweepRow& row : opts.resume_rows) {
+    const auto it = pos_of.find(row.index);
+    if (it == pos_of.end()) continue;  // artifact covered a wider filter
+    if (row.label != points[it->second].label)
+      throw std::runtime_error(
+          "run_campaign: resume row " + std::to_string(row.index) +
+          " has label '" + row.label + "' but the spec expands to '" +
+          points[it->second].label + "' — stale artifact from another spec?");
+    if (!row.ok || has[it->second]) continue;
+    finalize(row, it->second);
+    ++out.resumed;
+  }
+
+  // Deal the remaining points: shard_slice per worker (keeps baseline
+  // groups together), then cut each slice into chunks.
+  std::vector<SweepPoint> pending;
+  pending.reserve(n - done);
+  for (std::size_t i = 0; i < n; ++i)
+    if (!has[i]) pending.push_back(points[i]);
+
+  std::vector<std::deque<Chunk>> queues(
+      static_cast<std::size_t>(opts.workers));
+  for (int w = 0; w < opts.workers; ++w) {
+    const std::vector<SweepPoint> slice =
+        shard_slice(pending, w, opts.workers);
+    if (slice.empty()) continue;
+    std::size_t chunk = opts.chunk_points;
+    if (chunk == 0)
+      // With stealing, give every worker a few chunks so there is
+      // something to steal; without it, chunking only adds dispatch
+      // overhead — one task per worker, like run_sharded_processes.
+      chunk = opts.steal ? std::max<std::size_t>(1, slice.size() / 4)
+                         : slice.size();
+    for (std::size_t b = 0; b < slice.size(); b += chunk) {
+      Chunk c;
+      c.owner = w;
+      c.points.assign(slice.begin() + static_cast<std::ptrdiff_t>(b),
+                      slice.begin() + static_cast<std::ptrdiff_t>(
+                                          std::min(b + chunk, slice.size())));
+      queues[static_cast<std::size_t>(w)].push_back(std::move(c));
+    }
+  }
+
+  std::map<int, Chunk> active;  // slot -> chunk being executed
+  std::map<int, std::string> active_artifact;
+  std::uint64_t next_task_id = 0;
+
+  auto take_chunk = [&](int slot) -> std::pair<bool, Chunk> {
+    auto& own = queues[static_cast<std::size_t>(slot)];
+    if (!own.empty()) {
+      Chunk c = std::move(own.front());
+      own.pop_front();
+      return {true, std::move(c)};
+    }
+    if (!opts.steal) return {false, {}};
+    // Steal from the most-loaded sibling's tail (the work its owner
+    // would reach last); ties break toward the lowest slot for
+    // reproducible dispatch decisions.
+    int victim = -1;
+    std::size_t best = 0;
+    for (int w = 0; w < opts.workers; ++w)
+      if (queues[static_cast<std::size_t>(w)].size() > best) {
+        best = queues[static_cast<std::size_t>(w)].size();
+        victim = w;
+      }
+    if (victim < 0) return {false, {}};
+    auto& q = queues[static_cast<std::size_t>(victim)];
+    Chunk c = std::move(q.back());
+    q.pop_back();
+    ++out.steals;
+    return {true, std::move(c)};
+  };
+
+  auto dispatch = [&](int slot) -> bool {
+    auto [got, chunk] = take_chunk(slot);
+    if (!got) return false;
+    LaunchTask task;
+    task.slot = slot;
+    task.task_id = next_task_id++;
+    task.attempt_base = chunk.redispatch;
+    task.points = chunk.points;
+    task.artifact =
+        opts.scratch_dir + "/task-" + std::to_string(task.task_id) + ".jsonl";
+    task.engine = opts.engine;
+    task.engine.on_result = nullptr;
+    opts.launcher->start(task);
+    active_artifact[slot] = task.artifact;
+    active[slot] = std::move(chunk);
+    ++out.tasks;
+    return true;
+  };
+
+  auto progress = [&](bool complete) {
+    if (!opts.on_progress) return;
+    CampaignProgress p;
+    p.total = n;
+    p.done = done;
+    p.failed = out.failed;
+    p.resumed = out.resumed;
+    p.retries = out.retries;
+    p.steals = out.steals;
+    p.tasks = out.tasks;
+    p.task_retries = out.task_retries;
+    p.complete = complete;
+    opts.on_progress(p);
+  };
+
+  std::vector<int> free_slots;
+  for (int w = opts.workers - 1; w >= 0; --w) free_slots.push_back(w);
+
+  while (done < n) {
+    for (std::size_t i = free_slots.size(); i-- > 0;) {
+      if (dispatch(free_slots[i]))
+        free_slots.erase(free_slots.begin() + static_cast<std::ptrdiff_t>(i));
+    }
+    if (active.empty())
+      throw std::logic_error(
+          "run_campaign: stalled with unfinished points and no active "
+          "tasks");
+
+    auto [slot, status] = opts.launcher->wait_any();
+    const auto ait = active.find(slot);
+    if (ait == active.end())
+      throw std::logic_error("run_campaign: completion for idle slot");
+    Chunk chunk = std::move(ait->second);
+    active.erase(ait);
+    const std::string artifact = active_artifact[slot];
+    active_artifact.erase(slot);
+    free_slots.push_back(slot);
+
+    // Harvest whatever the task managed to write — even a killed worker's
+    // completed rows count (tolerant read drops at most a torn tail).
+    std::vector<SweepRow> rows;
+    try {
+      rows = read_jsonl_tolerant(artifact);
+    } catch (const std::exception&) {
+      rows.clear();  // no artifact at all: every point is unfinished
+    }
+    read_task_meta(artifact + ".meta", &out);
+
+    std::set<std::size_t> chunk_indices;
+    for (const SweepPoint& p : chunk.points) chunk_indices.insert(p.index);
+    for (const SweepRow& row : rows) {
+      if (chunk_indices.count(row.index) == 0) continue;
+      const std::size_t pos = pos_of.at(row.index);
+      if (has[pos]) continue;
+      finalize(row, pos);
+      chunk_indices.erase(row.index);
+    }
+
+    if (!chunk_indices.empty()) {
+      // The worker died mid-chunk.  Re-dispatch the unfinished points (to
+      // the same owner's queue; stealing will rebalance if it lags), or —
+      // budget exhausted — finalize them as failures naming the cause.
+      Chunk rest;
+      rest.owner = chunk.owner;
+      rest.redispatch = chunk.redispatch + 1;
+      for (const SweepPoint& p : chunk.points)
+        if (chunk_indices.count(p.index) != 0) rest.points.push_back(p);
+      const std::string cause =
+          status.detail.empty() ? "task did not run to completion"
+                                : status.detail;
+      out.task_failures.push_back(cause + " — " +
+                                  std::to_string(chunk_indices.size()) +
+                                  " point(s) unfinished");
+      if (chunk.redispatch < opts.max_task_retries) {
+        queues[static_cast<std::size_t>(rest.owner)].push_back(
+            std::move(rest));
+        ++out.task_retries;
+      } else {
+        for (const SweepPoint& p : rest.points) {
+          SweepRow row;
+          row.index = p.index;
+          row.label = p.label;
+          row.axis = p.axis;
+          row.ok = false;
+          row.error = "worker died (" + cause + "), re-dispatch budget of " +
+                      std::to_string(opts.max_task_retries) + " exhausted";
+          finalize(row, pos_of.at(p.index));
+        }
+      }
+    }
+    progress(false);
+  }
+
+  out.wall_s =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+  progress(true);
+  return out;
+}
+
+}  // namespace unimem::sweep

@@ -8,16 +8,31 @@
 #include <algorithm>
 #include <atomic>
 #include <chrono>
+#include <cmath>
 #include <condition_variable>
+#include <csignal>
 #include <cstdio>
+#include <cstring>
 #include <exception>
 #include <mutex>
 #include <stdexcept>
 #include <thread>
 
+#include "common/rng.h"
 #include "sweep/result_store.h"
 
 namespace unimem::sweep {
+
+double RetryBackoff::delay_s(std::size_t index, int attempt) const {
+  if (attempt < 1) return 0.0;
+  const double grown = base_s * std::pow(2.0, attempt - 1);
+  const double capped = std::min(grown, max_s);
+  // Jitter must be a pure function of (seed, index, attempt) so a resumed
+  // or re-run campaign reproduces the exact retry schedule.
+  Rng mix(seed ^ (static_cast<std::uint64_t>(index) * 0x9e3779b97f4a7c15ull) ^
+          (static_cast<std::uint64_t>(attempt) * 0xbf58476d1ce4e5b9ull));
+  return capped * (0.5 + 0.5 * mix.uniform());
+}
 
 SweepEngine::SweepEngine(EngineOptions opts, BaselineService* baselines)
     : opts_(opts), baselines_(baselines != nullptr ? baselines : &owned_) {}
@@ -45,11 +60,17 @@ SweepOutcome SweepEngine::run(const std::vector<SweepPoint>& points) {
 
   std::atomic<std::size_t> next{0};
   std::atomic<std::size_t> point_worlds{0};
+  std::atomic<std::size_t> point_retries{0};
   std::mutex admit_mu;
   std::condition_variable admit_cv;
   int active_ranks = 0;
   int active_jobs = 0;
   std::mutex result_mu;
+
+  auto run_point_once = [&](const SweepPoint& p, int attempt) {
+    if (opts_.run_point) return opts_.run_point(p, attempt);
+    return exp::run_once(p.cfg);
+  };
 
   auto worker = [&] {
     for (;;) {
@@ -73,29 +94,47 @@ SweepOutcome SweepEngine::run(const std::vector<SweepPoint>& points) {
       row.index = p.index;
       row.label = p.label;
       row.axis = p.axis;
-      try {
-        if (p.normalize) {
-          const exp::RunResult base = baselines_->dram_baseline(p.cfg);
-          row.baseline_time_s = base.time_s;
-          // The DRAM-only point IS its own baseline: reuse the memoized
-          // run instead of executing the identical World again.
-          if (p.cfg.policy == exp::Policy::kDramOnly) {
-            row.result = base;
+      // Retry loop: a failing attempt is re-run (after a deterministic
+      // backoff delay) up to max_point_retries extra times.  The row keeps
+      // no memory of earlier attempts — a retried success is bitwise
+      // identical to a first-try success, preserving golden determinism.
+      for (int attempt = 0;; ++attempt) {
+        row.ok = false;
+        row.error.clear();
+        row.result = exp::RunResult{};
+        row.baseline_time_s = 0;
+        row.normalized = 0;
+        try {
+          if (p.normalize) {
+            const exp::RunResult base = baselines_->dram_baseline(p.cfg);
+            row.baseline_time_s = base.time_s;
+            // The DRAM-only point IS its own baseline: reuse the memoized
+            // run instead of executing the identical World again.
+            if (p.cfg.policy == exp::Policy::kDramOnly &&
+                !opts_.run_point) {
+              row.result = base;
+            } else {
+              row.result = run_point_once(p, opts_.attempt_base + attempt);
+              point_worlds.fetch_add(1);
+            }
+            row.normalized =
+                base.time_s > 0 ? row.result.time_s / base.time_s : 0.0;
           } else {
-            row.result = exp::run_once(p.cfg);
+            row.result = run_point_once(p, opts_.attempt_base + attempt);
             point_worlds.fetch_add(1);
           }
-          row.normalized =
-              base.time_s > 0 ? row.result.time_s / base.time_s : 0.0;
-        } else {
-          row.result = exp::run_once(p.cfg);
-          point_worlds.fetch_add(1);
+          row.ok = true;
+        } catch (const std::exception& e) {
+          row.error = e.what();
+        } catch (...) {
+          row.error = "unknown error";
         }
-        row.ok = true;
-      } catch (const std::exception& e) {
-        row.error = e.what();
-      } catch (...) {
-        row.error = "unknown error";
+        if (row.ok || attempt >= opts_.max_point_retries) break;
+        point_retries.fetch_add(1);
+        const double delay =
+            opts_.backoff.delay_s(p.index, opts_.attempt_base + attempt + 1);
+        if (delay > 0)
+          std::this_thread::sleep_for(std::chrono::duration<double>(delay));
       }
 
       {
@@ -116,9 +155,18 @@ SweepOutcome SweepEngine::run(const std::vector<SweepPoint>& points) {
 
   std::vector<std::thread> pool;
   pool.reserve(static_cast<std::size_t>(jobs));
-  for (int j = 0; j < jobs; ++j) pool.emplace_back(worker);
+  try {
+    for (int j = 0; j < jobs; ++j) pool.emplace_back(worker);
+  } catch (const std::system_error&) {
+    // Thread creation failed (resource pressure).  Degrade to the workers
+    // we got plus this thread instead of unwinding past joinable threads,
+    // which would std::terminate the whole process (or sweep task).
+    out.jobs_used = static_cast<int>(pool.size()) + 1;
+    worker();
+  }
   for (auto& t : pool) t.join();
 
+  out.retries = point_retries.load();
   out.baseline_requests = baselines_->requests() - base_requests;
   out.baseline_computed = baselines_->computed() - base_computed;
   out.worlds_executed = point_worlds.load() + out.baseline_computed;
@@ -152,9 +200,9 @@ std::string shard_path(const std::string& dir, int shard, const char* ext) {
     const std::string meta = shard_path(opts.scratch_dir, shard, ".meta");
     std::FILE* f = std::fopen(meta.c_str(), "w");
     if (f == nullptr) throw std::runtime_error("cannot open " + meta);
-    std::fprintf(f, "%zu %zu %zu %zu %d\n", out.worlds_executed,
+    std::fprintf(f, "%zu %zu %zu %zu %d %zu\n", out.worlds_executed,
                  out.baseline_requests, out.baseline_computed, out.failed,
-                 out.jobs_used);
+                 out.jobs_used, out.retries);
     std::fclose(f);
   } catch (const std::exception& e) {
     std::fprintf(stderr, "sweep shard %d: %s\n", shard, e.what());
@@ -200,20 +248,30 @@ SweepOutcome run_sharded_processes(const std::vector<SweepPoint>& points,
     children.push_back(pid);
   }
 
-  bool child_failed = false;
-  for (pid_t c : children) {
+  // Wait for every sibling (no orphans left behind), but remember WHICH
+  // shards died and how, so the diagnostic names the culprit instead of
+  // "a shard child did not run to completion".
+  std::string failure_detail;
+  for (std::size_t s = 0; s < children.size(); ++s) {
     int status = 0;
     pid_t r;
-    while ((r = waitpid(c, &status, 0)) == -1 && errno == EINTR) {
+    while ((r = waitpid(children[s], &status, 0)) == -1 && errno == EINTR) {
     }
-    if (r != c || !WIFEXITED(status) || WEXITSTATUS(status) != 0)
-      child_failed = true;
+    const bool ok =
+        r == children[s] && WIFEXITED(status) && WEXITSTATUS(status) == 0;
+    if (!ok) {
+      if (!failure_detail.empty()) failure_detail += "; ";
+      failure_detail += "shard " + std::to_string(s) + " " +
+                        (r == children[s] ? describe_wait_status(status)
+                                          : "lost to waitpid");
+    }
   }
-  if (child_failed)
-    throw std::runtime_error(
-        "run_sharded_processes: a shard child did not run to completion");
+  if (!failure_detail.empty())
+    throw std::runtime_error("run_sharded_processes: " + failure_detail);
 
   SweepOutcome out;
+  out.shards = opts.shards;
+  std::size_t meta_failed = 0;
   std::vector<std::string> jsonls;
   for (int s = 0; s < opts.shards; ++s) {
     jsonls.push_back(shard_path(opts.scratch_dir, s, ".jsonl"));
@@ -221,17 +279,22 @@ SweepOutcome run_sharded_processes(const std::vector<SweepPoint>& points,
     std::FILE* f = std::fopen(meta.c_str(), "r");
     if (f == nullptr)
       throw std::runtime_error("run_sharded_processes: missing " + meta);
-    std::size_t worlds = 0, breq = 0, bcomp = 0, failed = 0;
+    std::size_t worlds = 0, breq = 0, bcomp = 0, failed = 0, retries = 0;
     int jobs = 0;
-    const int n = std::fscanf(f, "%zu %zu %zu %zu %d", &worlds, &breq, &bcomp,
-                              &failed, &jobs);
+    const int n = std::fscanf(f, "%zu %zu %zu %zu %d %zu", &worlds, &breq,
+                              &bcomp, &failed, &jobs, &retries);
     std::fclose(f);
-    if (n != 5)
+    if (n != 6)
       throw std::runtime_error("run_sharded_processes: malformed " + meta);
     out.worlds_executed += worlds;
     out.baseline_requests += breq;
     out.baseline_computed += bcomp;
-    out.jobs_used += jobs;
+    out.retries += retries;
+    meta_failed += failed;
+    // Children run identical engine options, so "jobs used" is the
+    // per-child width (report the widest), not the sum — out.shards
+    // carries the process fan-out.
+    out.jobs_used = std::max(out.jobs_used, jobs);
   }
 
   out.rows = merge_shards(jsonls);
@@ -243,10 +306,32 @@ SweepOutcome run_sharded_processes(const std::vector<SweepPoint>& points,
     if (!r.ok) ++out.failed;
     if (opts.engine.on_result) opts.engine.on_result(r);
   }
+  // Each child reported its failure count in the sidecar; the merged rows
+  // must agree, or the scratch dir held stale artifacts from an earlier
+  // run (e.g. a leftover shard file with a different failure pattern).
+  if (out.failed != meta_failed)
+    throw std::runtime_error(
+        "run_sharded_processes: sidecars report " +
+        std::to_string(meta_failed) + " failed point(s) but merged rows " +
+        "contain " + std::to_string(out.failed) +
+        " — stale shard artifacts in " + opts.scratch_dir + "?");
   out.wall_s = std::chrono::duration<double>(std::chrono::steady_clock::now() -
                                              t0)
                    .count();
   return out;
+}
+
+std::string describe_wait_status(int status) {
+  if (WIFEXITED(status)) return "exited " + std::to_string(WEXITSTATUS(status));
+  if (WIFSIGNALED(status)) {
+    const int sig = WTERMSIG(status);
+    const char* name = strsignal(sig);
+    return "killed by signal " + std::to_string(sig) +
+           (name != nullptr ? std::string(" (") + name + ")" : std::string());
+  }
+  if (WIFSTOPPED(status))
+    return "stopped by signal " + std::to_string(WSTOPSIG(status));
+  return "unknown wait status " + std::to_string(status);
 }
 
 }  // namespace unimem::sweep

@@ -46,14 +46,35 @@ struct SweepOutcome {
   std::size_t failed = 0;
   double wall_s = 0;  ///< host wall-clock for the whole batch
   /// Worker threads actually used (options.jobs resolved against the
-  /// hardware and clamped to the point count).
+  /// hardware and clamped to the point count).  For a sharded run this is
+  /// the per-child job count (the largest across children), NOT the sum —
+  /// `shards` reports the process fan-out separately.
   int jobs_used = 0;
+  /// Shard children of a run_sharded_processes() run; 0 = single process.
+  int shards = 0;
+  /// Point attempts that failed and were re-run under
+  /// EngineOptions::max_point_retries.
+  std::size_t retries = 0;
   /// Worlds the engine actually executed: point runs + baseline cache
   /// misses.  A naive serial harness would have executed
   /// rows + baseline_requests worlds.
   std::size_t worlds_executed = 0;
   std::size_t baseline_requests = 0;
   std::size_t baseline_computed = 0;
+};
+
+/// Capped exponential backoff with deterministic per-(point, attempt)
+/// jitter: delay_s() is a pure function of (seed, index, attempt), so a
+/// campaign's retry schedule is reproducible run-to-run — the sweep-layer
+/// twin of perf::schedule_seed's determinism contract.
+struct RetryBackoff {
+  double base_s = 0.05;  ///< delay before the first retry (pre-jitter)
+  double max_s = 5.0;    ///< cap on the exponential growth
+  std::uint64_t seed = 0x5157454550u;  ///< jitter seed ("SWEEP")
+  /// Delay before retry `attempt` (1-based) of point `index`:
+  /// min(max_s, base_s * 2^(attempt-1)) scaled by a seeded jitter factor
+  /// in [0.5, 1.0) so simultaneous retries cannot thundering-herd.
+  double delay_s(std::size_t index, int attempt) const;
 };
 
 struct EngineOptions {
@@ -65,6 +86,24 @@ struct EngineOptions {
   /// Streaming result callback, invoked in completion order; calls are
   /// serialized by the engine.
   std::function<void(const SweepRow&)> on_result;
+  /// Per-point retry budget: a failing point is re-run up to this many
+  /// extra times (with RetryBackoff delays between attempts) before its
+  /// failure row is final.  Retried-then-successful rows are bitwise
+  /// identical to first-try successes — attempts are an engine counter
+  /// (SweepOutcome::retries), never artifact data — so retries preserve
+  /// golden determinism.
+  int max_point_retries = 0;
+  RetryBackoff backoff{};
+  /// First attempt number this engine runs (nonzero when a coordinator
+  /// re-dispatches points it already saw fail, so `run_point` hooks and
+  /// fault-injection schedules observe the campaign-global attempt).
+  int attempt_base = 0;
+  /// Point execution hook: when set, replaces exp::run_once for the
+  /// point's own run (baselines still go through the BaselineService).
+  /// Receives the campaign-global attempt number (attempt_base + local
+  /// attempt).  Tests inject synthetic runners and seeded transient
+  /// faults here; the CLI's --inject-fail rides the same hook.
+  std::function<exp::RunResult(const SweepPoint&, int attempt)> run_point;
 };
 
 class SweepEngine {
@@ -98,8 +137,10 @@ class SweepEngine {
 ///
 /// Must be called before the process spawns any threads (fork() only
 /// replicates the calling thread).  `worlds_executed`/baseline counters
-/// are summed from per-shard sidecar files; `jobs_used` reports the sum
-/// over children.
+/// are summed from per-shard sidecar files; `jobs_used` reports the
+/// per-child width and `shards` the process fan-out.  Sidecar failure
+/// counts are cross-checked against the merged rows so stale shard
+/// artifacts fail loudly instead of corrupting the summary.
 struct ShardedOptions {
   int shards = 2;
   /// Per-child engine options (jobs/ranks bound each child separately);
@@ -112,5 +153,10 @@ struct ShardedOptions {
 
 SweepOutcome run_sharded_processes(const std::vector<SweepPoint>& points,
                                    const ShardedOptions& opts);
+
+/// Human-readable waitpid status: "exited 3", "killed by signal 9 (Killed)",
+/// "stopped"...  Shared by the sharded runner and the process launchers so
+/// every "child died" diagnostic names the actual cause.
+std::string describe_wait_status(int status);
 
 }  // namespace unimem::sweep

@@ -1,0 +1,167 @@
+#include "sweep/launcher.h"
+
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+#include <stdexcept>
+
+#include "sweep/result_store.h"
+
+namespace unimem::sweep {
+
+SweepOutcome run_task_to_artifact(const LaunchTask& task,
+                                  BaselineService* baselines) {
+  SweepResultStore store;
+  store.stream_jsonl(task.artifact);
+  EngineOptions eopts = task.engine;
+  eopts.attempt_base = task.attempt_base;
+  eopts.on_result = [&](const SweepRow& row) { store.add(row); };
+  SweepEngine engine(eopts, baselines);
+  const SweepOutcome out = engine.run(task.points);
+  store.finish();
+
+  const std::string meta = task.artifact + ".meta";
+  std::FILE* f = std::fopen(meta.c_str(), "w");
+  if (f == nullptr) throw std::runtime_error("cannot open " + meta);
+  std::fprintf(f, "%zu %zu %zu %zu %d %zu\n", out.worlds_executed,
+               out.baseline_requests, out.baseline_computed, out.failed,
+               out.jobs_used, out.retries);
+  std::fclose(f);
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// InProcessLauncher
+
+InProcessLauncher::~InProcessLauncher() {
+  for (auto& [slot, t] : threads_)
+    if (t.joinable()) t.join();
+}
+
+void InProcessLauncher::start(const LaunchTask& task) {
+  const int slot = task.slot;
+  if (threads_.count(slot) != 0)
+    throw std::logic_error("InProcessLauncher: slot already running");
+  threads_[slot] = std::thread([this, task] {
+    LaunchStatus st;
+    try {
+      run_task_to_artifact(task, &baselines_);
+      st.ok = true;
+    } catch (const std::exception& e) {
+      st.detail = e.what();
+    } catch (...) {
+      st.detail = "unknown error";
+    }
+    {
+      std::lock_guard<std::mutex> lk(mu_);
+      done_.emplace_back(task.slot, std::move(st));
+    }
+    cv_.notify_all();
+  });
+}
+
+std::pair<int, LaunchStatus> InProcessLauncher::wait_any() {
+  std::pair<int, LaunchStatus> out;
+  {
+    std::unique_lock<std::mutex> lk(mu_);
+    cv_.wait(lk, [&] { return !done_.empty(); });
+    out = std::move(done_.front());
+    done_.pop_front();
+  }
+  // Join outside the lock: the task thread's last act (push + notify) is
+  // already done, so this join is near-instant.
+  auto it = threads_.find(out.first);
+  if (it != threads_.end()) {
+    it->second.join();
+    threads_.erase(it);
+  }
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// ProcessLauncher
+
+void ProcessLauncher::start(const LaunchTask& task) {
+  // Flush before forking so buffered output is not duplicated into the
+  // child's address space.
+  std::fflush(nullptr);
+  const pid_t pid = spawn(task);
+  slot_of_[pid] = task.slot;
+}
+
+std::pair<int, LaunchStatus> ProcessLauncher::wait_any() {
+  if (slot_of_.empty())
+    throw std::logic_error("ProcessLauncher: wait_any with no children");
+  for (;;) {
+    int status = 0;
+    const pid_t pid = waitpid(-1, &status, 0);
+    if (pid == -1) {
+      if (errno == EINTR) continue;
+      throw std::runtime_error(std::string("ProcessLauncher: waitpid: ") +
+                               std::strerror(errno));
+    }
+    const auto it = slot_of_.find(pid);
+    if (it == slot_of_.end()) continue;  // not ours (no other forkers here)
+    const int slot = it->second;
+    slot_of_.erase(it);
+    LaunchStatus st;
+    st.ok = WIFEXITED(status) && WEXITSTATUS(status) == 0;
+    if (!st.ok) st.detail = describe_wait_status(status);
+    return {slot, st};
+  }
+}
+
+// ---------------------------------------------------------------------------
+// ForkLauncher
+
+pid_t ForkLauncher::spawn(const LaunchTask& task) {
+  const pid_t pid = fork();
+  if (pid < 0) throw std::runtime_error("ForkLauncher: fork failed");
+  if (pid == 0) {
+    try {
+      run_task_to_artifact(task);
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "sweep task %llu: %s\n",
+                   static_cast<unsigned long long>(task.task_id), e.what());
+      std::fflush(stderr);
+      _exit(3);
+    }
+    // _exit, not exit: the child shares the parent's stdio buffers and
+    // must not flush them a second time on its way out.
+    _exit(0);
+  }
+  return pid;
+}
+
+// ---------------------------------------------------------------------------
+// CommandLauncher
+
+pid_t CommandLauncher::spawn(const LaunchTask& task) {
+  std::vector<std::string> argv = prefix_;
+  std::vector<std::string> tail = make_argv_(task);
+  argv.insert(argv.end(), tail.begin(), tail.end());
+  if (argv.empty())
+    throw std::invalid_argument("CommandLauncher: empty command line");
+
+  std::vector<char*> cargv;
+  cargv.reserve(argv.size() + 1);
+  for (std::string& a : argv) cargv.push_back(a.data());
+  cargv.push_back(nullptr);
+
+  const pid_t pid = fork();
+  if (pid < 0) throw std::runtime_error("CommandLauncher: fork failed");
+  if (pid == 0) {
+    execvp(cargv[0], cargv.data());
+    std::fprintf(stderr, "sweep task %llu: exec %s: %s\n",
+                 static_cast<unsigned long long>(task.task_id), cargv[0],
+                 std::strerror(errno));
+    std::fflush(stderr);
+    _exit(127);
+  }
+  return pid;
+}
+
+}  // namespace unimem::sweep

@@ -1,0 +1,164 @@
+// Launchers: WHERE a coordinator task runs.
+//
+// The coordinator (coordinator.h) is a single-threaded dispatch loop; a
+// Launcher is its asynchronous execution backend.  start() begins a task,
+// wait_any() blocks until some started task finishes and reports whether
+// the task BODY ran to completion — row-level failures are data inside
+// the task's JSONL artifact, not launcher failures.  Keeping the wait
+// side asynchronous is what lets one coordinator overlap many workers
+// while itself staying single-threaded, which in turn is what makes
+// ForkLauncher safe under TSan (fork() from a multi-threaded process
+// whose child then spawns threads is undefined enough that TSan aborts).
+//
+// Three topologies:
+//   * InProcessLauncher — one std::thread per task, shared BaselineService.
+//   * ForkLauncher      — fork(); the child runs the task body and _exit()s.
+//                         Same isolation model as run_sharded_processes.
+//   * CommandLauncher   — fork()+exec of an argv the caller builds per
+//                         task (ssh-style: any prefix like {"ssh","host"}
+//                         in front of a sweep CLI invocation).  The child
+//                         shares nothing with the parent but the artifact
+//                         path, which is what makes the artifact format,
+//                         not the address space, the contract.
+//
+// Every task writes rows to its own JSONL artifact; the coordinator reads
+// artifacts back with the crash-tolerant reader, so a task killed
+// mid-write loses at most its torn last line.
+#pragma once
+
+#include <sys/types.h>
+
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <map>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "sweep/engine.h"
+
+namespace unimem::sweep {
+
+/// One unit of coordinator work: run `points` through a SweepEngine and
+/// stream their rows to the JSONL `artifact`.
+struct LaunchTask {
+  int slot = 0;               ///< worker slot the coordinator assigned
+  std::uint64_t task_id = 0;  ///< unique within a campaign (artifact names)
+  /// Campaign-global attempt number of every point in this task (0 on
+  /// first dispatch; retry chunks carry the point's attempt count).
+  /// Forwarded to EngineOptions::attempt_base so run_point hooks and
+  /// fault-injection schedules see the global attempt even across
+  /// process boundaries.
+  int attempt_base = 0;
+  std::vector<SweepPoint> points;
+  std::string artifact;  ///< JSONL path the task streams rows to
+  EngineOptions engine;  ///< per-task engine options (on_result is ignored)
+};
+
+/// Launcher-level verdict for one finished task.  `ok` means the task
+/// body ran to completion; when false, `detail` names the cause ("exited
+/// 3", "killed by signal 9 (Killed)", an exception message, ...).
+struct LaunchStatus {
+  bool ok = false;
+  std::string detail;
+};
+
+/// Task body shared by every launcher: run task.points through a
+/// SweepEngine streaming to task.artifact, then write
+/// "<artifact>.meta" (same sidecar format as run_sharded_processes) so
+/// the coordinator can aggregate world/baseline counters.  The task's
+/// on_result is replaced by the artifact stream — the coordinator replays
+/// rows to the campaign-level callback itself.  `baselines` may be shared
+/// across tasks (in-process launcher); nullptr = task-owned service.
+SweepOutcome run_task_to_artifact(const LaunchTask& task,
+                                  BaselineService* baselines = nullptr);
+
+class Launcher {
+ public:
+  virtual ~Launcher() = default;
+
+  /// Begin a task; returns immediately.  Throws on spawn failure.
+  virtual void start(const LaunchTask& task) = 0;
+
+  /// Block until any started task finishes; returns its slot + status.
+  /// Precondition: at least one task is outstanding.
+  virtual std::pair<int, LaunchStatus> wait_any() = 0;
+
+  virtual const char* name() const = 0;
+};
+
+/// One std::thread per task inside this process.  Tasks share one
+/// BaselineService (keys are pure functions of the point's RunConfig), so
+/// baselines memoize across tasks exactly as in a plain engine run.
+class InProcessLauncher : public Launcher {
+ public:
+  ~InProcessLauncher() override;
+
+  void start(const LaunchTask& task) override;
+  std::pair<int, LaunchStatus> wait_any() override;
+  const char* name() const override { return "inproc"; }
+
+ private:
+  BaselineService baselines_;
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<std::pair<int, LaunchStatus>> done_;
+  std::map<int, std::thread> threads_;  // slot -> running task thread
+};
+
+/// Shared fork/waitpid machinery for the two process-backed launchers.
+/// The parent must still be effectively single-threaded when start() is
+/// called if the child will spawn threads (the coordinator guarantees
+/// this by never threading itself).
+class ProcessLauncher : public Launcher {
+ public:
+  void start(const LaunchTask& task) override;
+  std::pair<int, LaunchStatus> wait_any() override;
+
+ protected:
+  /// Fork-and-run; returns the child pid (parent side only).
+  virtual pid_t spawn(const LaunchTask& task) = 0;
+
+ private:
+  std::map<pid_t, int> slot_of_;  // outstanding children
+};
+
+/// fork(): the child runs run_task_to_artifact and _exit()s — the same
+/// code path and exit-code contract as run_sharded_processes children
+/// (0 = ran to completion, 3 = infrastructure failure).
+class ForkLauncher : public ProcessLauncher {
+ public:
+  const char* name() const override { return "fork"; }
+
+ protected:
+  pid_t spawn(const LaunchTask& task) override;
+};
+
+/// fork()+exec of `prefix + make_argv(task)`.  With an empty prefix this
+/// re-invokes a local binary (the sweep CLI launches itself); with
+/// {"ssh", "host"} the same argv runs remotely — the artifact path is the
+/// only coupling, so any transport that can run a command and share a
+/// filesystem path works.
+class CommandLauncher : public ProcessLauncher {
+ public:
+  using ArgvBuilder = std::function<std::vector<std::string>(const LaunchTask&)>;
+
+  CommandLauncher(std::vector<std::string> prefix, ArgvBuilder make_argv)
+      : prefix_(std::move(prefix)), make_argv_(std::move(make_argv)) {}
+
+  const char* name() const override { return "cmd"; }
+
+ protected:
+  pid_t spawn(const LaunchTask& task) override;
+
+ private:
+  std::vector<std::string> prefix_;
+  ArgvBuilder make_argv_;
+};
+
+}  // namespace unimem::sweep

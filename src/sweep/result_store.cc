@@ -120,12 +120,17 @@ void SweepResultStore::finish() {
       "index,label,ok,error,time_s,baseline_time_s,normalized,checksum,"
       "migrations,bytes_moved,overhead_pct,overlap_pct\n",
       f);
+  // Keep every field a single CSV cell: labels come from explicit-point
+  // specs (free text, may carry commas), errors from exception messages.
+  auto csv_cell = [](std::string v) {
+    std::replace(v.begin(), v.end(), ',', ';');
+    std::replace(v.begin(), v.end(), '\n', ' ');
+    return v;
+  };
   for (const SweepRow& r : rows_) {
-    std::string err = r.error;  // keep the row a single CSV record
-    std::replace(err.begin(), err.end(), ',', ';');
-    std::replace(err.begin(), err.end(), '\n', ' ');
     std::fprintf(f, "%zu,%s,%d,%s,%s,%s,%s,%s,%llu,%llu,%s,%s\n", r.index,
-                 r.label.c_str(), r.ok ? 1 : 0, err.c_str(),
+                 csv_cell(r.label).c_str(), r.ok ? 1 : 0,
+                 csv_cell(r.error).c_str(),
                  num17(r.result.time_s).c_str(),
                  num17(r.baseline_time_s).c_str(), num17(r.normalized).c_str(),
                  num17(r.result.checksum).c_str(),
@@ -286,6 +291,53 @@ std::vector<SweepRow> read_jsonl(const std::string& path) {
   while (std::getline(in, line)) {
     if (line.empty()) continue;
     rows.push_back(parse_jsonl_line(line));
+  }
+  // getline ends on both EOF and stream errors; only EOF means the whole
+  // file was read — a read error would otherwise truncate the tail
+  // silently.
+  if (in.bad()) throw std::runtime_error("read_jsonl: read error on " + path);
+  return rows;
+}
+
+std::vector<SweepRow> read_jsonl_tolerant(const std::string& path,
+                                          std::size_t* dropped) {
+  std::ifstream in(path);
+  if (!in.good())
+    throw std::runtime_error("read_jsonl_tolerant: cannot open " + path);
+  std::vector<std::string> lines;
+  std::string line;
+  while (std::getline(in, line))
+    if (!line.empty()) lines.push_back(line);
+  if (in.bad())
+    throw std::runtime_error("read_jsonl_tolerant: read error on " + path);
+  if (dropped != nullptr) *dropped = 0;
+
+  std::vector<SweepRow> rows;
+  std::map<std::size_t, std::size_t> pos_of;  // index -> slot in rows
+  for (std::size_t i = 0; i < lines.size(); ++i) {
+    SweepRow row;
+    try {
+      row = parse_jsonl_line(lines[i]);
+    } catch (const std::exception&) {
+      // Only the FINAL line may be malformed: that is the torn tail of a
+      // writer killed mid-fputs, and dropping it loses one re-runnable
+      // point.  A malformed line with complete lines after it is real
+      // corruption and still throws.
+      if (i + 1 == lines.size()) {
+        if (dropped != nullptr) *dropped = 1;
+        break;
+      }
+      throw;
+    }
+    const auto it = pos_of.find(row.index);
+    if (it != pos_of.end()) {
+      // Later duplicates win: a resumed campaign appends fresh rows for
+      // points whose earlier rows were failures.
+      rows[it->second] = row;
+    } else {
+      pos_of[row.index] = rows.size();
+      rows.push_back(row);
+    }
   }
   return rows;
 }

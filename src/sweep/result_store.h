@@ -78,6 +78,17 @@ SweepRow parse_jsonl_line(const std::string& line);
 /// malformed.
 std::vector<SweepRow> read_jsonl(const std::string& path);
 
+/// Crash-tolerant JSONL reader for --resume and coordinator task
+/// artifacts: parses every well-formed line; a malformed FINAL line (the
+/// torn tail of a writer killed mid-write) is silently dropped — losing
+/// one re-runnable point beats discarding the whole artifact — and
+/// `dropped` (optional) reports whether that happened.  A malformed line
+/// with complete lines after it still throws (real corruption, not a
+/// crash).  Later duplicates of a point index win: a resumed campaign
+/// appends fresh rows for points that previously failed.
+std::vector<SweepRow> read_jsonl_tolerant(const std::string& path,
+                                          std::size_t* dropped = nullptr);
+
 /// Stitch per-shard JSONL files back into one point-ordered row list.
 /// The shards of one expansion partition it exactly, so duplicate point
 /// indices across files mean mismatched shard runs — rejected with

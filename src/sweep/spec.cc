@@ -381,6 +381,30 @@ SweepSpec make_spec(const std::string& name) {
     s.workloads = npb(true);
     s.policies = {exp::Policy::kUnimem};
     s.profiler_periods = {0, 16, 64, 256};
+  } else if (name == "service_stress") {
+    // Coordinator stress grid (not a paper figure): 10 bandwidths x 10
+    // latencies x 100 DRAM capacities = 10,000 points of the cheapest
+    // world we can run (class-S single-rank single-iteration CG under
+    // manual placement with nothing placed), sized to exercise the sweep
+    // service's dispatch/steal/retry/resume machinery, not the simulator.
+    // Tests drive it with a synthetic run_point hook; smoke CI runs a
+    // --filter slice through the real CLI.
+    s.title = "Sweep service stress: 10k-point synthetic campaign";
+    s.workloads = {"cg"};
+    s.policies = {exp::Policy::kManual};
+    s.cls = 'S';
+    s.iterations = 1;
+    s.nranks = 1;
+    s.normalize = false;
+    s.nvm_bw_ratios.clear();
+    s.nvm_lat_mults.clear();
+    for (int i = 1; i <= 10; ++i) {
+      s.nvm_bw_ratios.push_back(i / 10.0);
+      s.nvm_lat_mults.push_back(static_cast<double>(i));
+    }
+    s.dram_capacities.clear();
+    for (std::size_t m = 1; m <= 100; ++m)
+      s.dram_capacities.push_back(m * kMiB);
   } else if (name == "table4") {
     // Raw migration statistics (not normalized): one Unimem point per
     // workload at NVM = 1/2 bandwidth; the harness reads the row's
@@ -397,7 +421,7 @@ SweepSpec make_spec(const std::string& name) {
 std::vector<std::string> spec_names() {
   return {"fig2",  "fig3",  "fig4",   "fig9",         "fig10",
           "fig11", "fig12", "fig13",  "table4",       "replan_drift",
-          "profiler_fidelity"};
+          "profiler_fidelity", "service_stress"};
 }
 
 std::optional<SweepSpec> spec_by_name(const std::string& name) {

@@ -1,0 +1,495 @@
+// Sweep service tests: deterministic retry backoff, engine-level point
+// retries (rows byte-identical to first-try successes), the campaign
+// coordinator (work stealing, dead-worker reassignment, resume), the
+// launcher topologies (in-process, fork, command), the crash-tolerant
+// JSONL reader, CSV label sanitization, and the sharded-process summary
+// fields this PR's satellites fix.
+#include <gtest/gtest.h>
+
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <csignal>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <stdexcept>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "sweep/coordinator.h"
+#include "sweep/engine.h"
+#include "sweep/launcher.h"
+#include "sweep/result_store.h"
+#include "sweep/spec.h"
+
+namespace unimem::sweep {
+namespace {
+
+// Synthetic points and a pure run_point hook: the service layer's
+// contracts (dispatch, retries, artifacts, determinism) are independent
+// of the simulator, so these tests exercise them without running Worlds.
+std::vector<SweepPoint> synth_points(std::size_t n) {
+  std::vector<SweepPoint> pts(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    pts[i].index = i;
+    pts[i].label = "synth/p" + std::to_string(i);
+    pts[i].axis = {{"workload", "synth"}};
+    pts[i].normalize = false;
+  }
+  return pts;
+}
+
+exp::RunResult synth_result(std::size_t index) {
+  exp::RunResult r;
+  r.time_s = 0.001 * static_cast<double>(index + 1);
+  r.checksum = 1.5 * static_cast<double>(index);
+  r.total_migrations = index;
+  return r;
+}
+
+/// Fresh per-test scratch directory (stale task artifacts/sidecars from a
+/// previous ctest run would pollute counter aggregation).
+std::string fresh_scratch(const std::string& name) {
+  const std::string dir = ::testing::TempDir() + "/svc_" + name;
+  std::filesystem::remove_all(dir);
+  std::filesystem::create_directories(dir);
+  return dir;
+}
+
+std::vector<std::string> jsonl_lines(const std::vector<SweepRow>& rows) {
+  std::vector<std::string> out;
+  out.reserve(rows.size());
+  for (const SweepRow& r : rows) out.push_back(SweepResultStore::jsonl_line(r));
+  return out;
+}
+
+// ---- retry backoff --------------------------------------------------------
+
+TEST(RetryBackoff, DeterministicCappedJitteredSchedule) {
+  RetryBackoff b;
+  b.base_s = 0.1;
+  b.max_s = 1.0;
+
+  EXPECT_EQ(b.delay_s(3, 1), b.delay_s(3, 1)) << "pure function of inputs";
+  EXPECT_EQ(b.delay_s(3, 0), 0.0) << "no delay before a first attempt";
+
+  // Nominal delay doubles per attempt until the cap; jitter scales it
+  // into [0.5, 1.0) of nominal.
+  auto expect_window = [&](int attempt, double nominal) {
+    const double d = b.delay_s(7, attempt);
+    EXPECT_GE(d, 0.5 * nominal) << "attempt " << attempt;
+    EXPECT_LT(d, nominal) << "attempt " << attempt;
+  };
+  expect_window(1, 0.1);
+  expect_window(2, 0.2);
+  expect_window(3, 0.4);
+  expect_window(8, 1.0);  // 0.1 * 2^7 = 12.8, capped at max_s
+  expect_window(30, 1.0);  // deep attempts stay capped, no overflow
+
+  // Jitter decorrelates points and attempts (thundering-herd guard), and
+  // the seed is part of the schedule's identity.
+  EXPECT_NE(b.delay_s(0, 1), b.delay_s(1, 1));
+  EXPECT_NE(b.delay_s(0, 1), b.delay_s(0, 2));
+  RetryBackoff other = b;
+  other.seed ^= 0x1234;
+  EXPECT_NE(b.delay_s(0, 1), other.delay_s(0, 1));
+}
+
+// ---- engine-level point retries -------------------------------------------
+
+TEST(SweepEngine, RetriedRowsAreByteIdenticalToFirstTrySuccesses) {
+  const auto points = synth_points(20);
+
+  EngineOptions flaky;
+  flaky.jobs = 4;
+  flaky.max_point_retries = 2;
+  flaky.backoff.base_s = 1e-4;
+  flaky.run_point = [](const SweepPoint& p, int attempt) {
+    if (attempt == 0 && p.index % 3 == 0)
+      throw std::runtime_error("injected transient fault");
+    return synth_result(p.index);
+  };
+  const SweepOutcome a = SweepEngine(flaky).run(points);
+
+  EngineOptions clean;
+  clean.jobs = 4;
+  clean.run_point = [](const SweepPoint& p, int) {
+    return synth_result(p.index);
+  };
+  const SweepOutcome b = SweepEngine(clean).run(points);
+
+  EXPECT_EQ(a.failed, 0u) << "every injected fault recovered";
+  EXPECT_EQ(a.retries, 7u) << "one retry per index divisible by 3";
+  EXPECT_EQ(b.retries, 0u);
+  ASSERT_EQ(a.rows.size(), b.rows.size());
+  // The determinism bar: attempts are counters, never artifact data.
+  EXPECT_EQ(jsonl_lines(a.rows), jsonl_lines(b.rows));
+}
+
+TEST(SweepEngine, RetryBudgetExhaustedKeepsTheFailureRow) {
+  const auto points = synth_points(3);
+  EngineOptions opts;
+  opts.jobs = 2;
+  opts.max_point_retries = 2;
+  opts.backoff.base_s = 1e-4;
+  opts.run_point = [](const SweepPoint& p, int) -> exp::RunResult {
+    if (p.index == 1) throw std::runtime_error("permanent fault");
+    return synth_result(p.index);
+  };
+  const SweepOutcome out = SweepEngine(opts).run(points);
+  EXPECT_EQ(out.failed, 1u);
+  EXPECT_EQ(out.retries, 2u) << "the whole budget was spent on point 1";
+  EXPECT_FALSE(out.rows[1].ok);
+  EXPECT_NE(out.rows[1].error.find("permanent fault"), std::string::npos);
+  EXPECT_TRUE(out.rows[0].ok);
+  EXPECT_TRUE(out.rows[2].ok);
+}
+
+// ---- coordinator ----------------------------------------------------------
+
+// The service-layer headline at stress scale: a 10k-point campaign with
+// seeded transient faults and a deliberately slow worker slice recovers
+// to zero failed rows, steals work off the straggler, and still produces
+// rows byte-identical to a plain engine run of the same points.
+TEST(Coordinator, StressCampaignRecoversFaultsStealsWorkStaysDeterministic) {
+  const std::size_t kPoints = 10000;
+  const auto points = synth_points(kPoints);
+  const std::string scratch = fresh_scratch("stress");
+
+  InProcessLauncher launcher;
+  CoordinatorOptions opts;
+  opts.launcher = &launcher;
+  opts.workers = 4;
+  opts.steal = true;
+  opts.scratch_dir = scratch;
+  opts.engine.jobs = 2;
+  opts.engine.max_point_retries = 2;
+  opts.engine.backoff.base_s = 1e-4;
+  // Slot 0's slice (indices 0 mod 4) blocks until every other worker's
+  // point has completed, so the drained workers must steal slot 0's queued
+  // chunks — deterministic regardless of scheduler or sanitizer slowdown.
+  // No deadlock: workers steal only once their own (all non-slot-0) queue
+  // has fully completed, so the last non-slot-0 point always has an
+  // unblocked worker to run on.
+  std::atomic<std::size_t> other_done{0};
+  const std::size_t kOtherPoints = kPoints - kPoints / 4;
+  opts.engine.run_point = [&](const SweepPoint& p, int attempt) {
+    if (attempt == 0 && p.index % 5 == 0)
+      throw std::runtime_error("injected transient fault");
+    if (p.index % 4 == 0) {
+      while (other_done.load(std::memory_order_acquire) < kOtherPoints)
+        std::this_thread::sleep_for(std::chrono::microseconds(50));
+    } else {
+      other_done.fetch_add(1, std::memory_order_acq_rel);
+    }
+    return synth_result(p.index);
+  };
+
+  std::size_t final_rows = 0;
+  opts.on_final_row = [&](const SweepRow&) { ++final_rows; };
+  CampaignProgress last{};
+  std::size_t progress_calls = 0;
+  opts.on_progress = [&](const CampaignProgress& p) {
+    ++progress_calls;
+    last = p;
+  };
+
+  const CampaignOutcome out = run_campaign(points, opts);
+
+  EXPECT_EQ(out.failed, 0u) << "every injected fault recovered";
+  EXPECT_GT(out.steals, 0u) << "idle workers must take the straggler's chunks";
+  EXPECT_GE(out.tasks, 4u);
+  EXPECT_EQ(out.resumed, 0u);
+  EXPECT_EQ(out.workers, 4);
+  if (out.task_retries == 0) {
+    // The exact counters hold unless the host is so starved that a task
+    // dies outright (e.g. pthread_create EAGAIN under a sanitizer while
+    // the box is saturated); the coordinator recovers those by
+    // re-dispatch, which legitimately re-runs points and shifts counts.
+    EXPECT_TRUE(out.task_failures.empty());
+    EXPECT_EQ(out.retries, kPoints / 5) << "one retry per injected point";
+    EXPECT_EQ(out.jobs_used, 2) << "per-task width, aggregated from sidecars";
+    EXPECT_EQ(out.worlds_executed, kPoints)
+        << "only successful attempts count as executed worlds";
+  } else {
+    for (const std::string& f : out.task_failures)
+      std::fprintf(stderr, "note: recovered task failure: %s\n", f.c_str());
+    EXPECT_LE(out.retries, kPoints / 5)
+        << "faults inject on first-dispatch attempt 0 only";
+    EXPECT_EQ(out.task_failures.size(), out.task_retries);
+  }
+  EXPECT_EQ(final_rows, kPoints);
+  EXPECT_GE(progress_calls, out.tasks + 1);
+  EXPECT_TRUE(last.complete);
+  EXPECT_EQ(last.done, kPoints);
+
+  EngineOptions plain;
+  plain.jobs = 4;
+  plain.run_point = [](const SweepPoint& p, int) {
+    return synth_result(p.index);
+  };
+  const SweepOutcome ref = SweepEngine(plain).run(points);
+  ASSERT_EQ(out.rows.size(), ref.rows.size());
+  EXPECT_EQ(jsonl_lines(out.rows), jsonl_lines(ref.rows))
+      << "campaign rows must match a plain engine run byte-for-byte";
+}
+
+TEST(Coordinator, ResumeAcceptsPriorRowsAndRejectsForeignArtifacts) {
+  const auto points = synth_points(10);
+  const std::string scratch = fresh_scratch("resume");
+
+  auto base_opts = [&](InProcessLauncher* launcher) {
+    CoordinatorOptions o;
+    o.launcher = launcher;
+    o.workers = 2;
+    o.scratch_dir = scratch;
+    o.engine.jobs = 1;
+    o.engine.run_point = [](const SweepPoint& p, int) {
+      return synth_result(p.index);
+    };
+    return o;
+  };
+
+  InProcessLauncher l1;
+  const CampaignOutcome first = run_campaign(points, base_opts(&l1));
+  ASSERT_EQ(first.failed, 0u);
+
+  // Resume with the first six rows plus a FAILED row for point 7: ok rows
+  // are accepted, the failed one is re-run (a resume is a second chance).
+  std::vector<SweepRow> resume(first.rows.begin(), first.rows.begin() + 6);
+  SweepRow failed7 = first.rows[7];
+  failed7.ok = false;
+  failed7.error = "crashed last time";
+  failed7.result = exp::RunResult{};
+  resume.push_back(failed7);
+
+  InProcessLauncher l2;
+  CoordinatorOptions o2 = base_opts(&l2);
+  o2.resume_rows = resume;
+  const CampaignOutcome second = run_campaign(points, o2);
+  EXPECT_EQ(second.resumed, 6u) << "only ok rows satisfy their points";
+  EXPECT_EQ(second.failed, 0u);
+  EXPECT_EQ(jsonl_lines(second.rows), jsonl_lines(first.rows));
+
+  // An artifact whose labels disagree with the spec expansion is from a
+  // different campaign — refuse instead of silently mixing results.
+  InProcessLauncher l3;
+  CoordinatorOptions o3 = base_opts(&l3);
+  o3.resume_rows = {first.rows[0]};
+  o3.resume_rows[0].label = "other-spec/p0";
+  EXPECT_THROW(run_campaign(points, o3), std::runtime_error);
+}
+
+TEST(Coordinator, ForkedWorkerKilledMidTaskIsReassigned) {
+  const auto points = synth_points(8);
+  const std::string scratch = fresh_scratch("killfork");
+  const std::string sentinel = scratch + "/killed.once";
+
+  ForkLauncher launcher;
+  CoordinatorOptions opts;
+  opts.launcher = &launcher;
+  opts.workers = 2;
+  opts.max_task_retries = 2;
+  opts.scratch_dir = scratch;
+  opts.engine.jobs = 1;
+  opts.engine.run_point = [sentinel](const SweepPoint& p, int) {
+    if (p.index == 5 && !std::filesystem::exists(sentinel)) {
+      std::FILE* f = std::fopen(sentinel.c_str(), "w");
+      if (f != nullptr) std::fclose(f);
+      raise(SIGKILL);  // the worker process dies mid-chunk
+    }
+    return synth_result(p.index);
+  };
+
+  const CampaignOutcome out = run_campaign(points, opts);
+  EXPECT_EQ(out.failed, 0u) << "the dead worker's points were re-run";
+  EXPECT_GE(out.task_retries, 1u);
+  EXPECT_GT(out.tasks, 2u) << "the re-dispatch is a fresh task";
+
+  EngineOptions plain;
+  plain.jobs = 1;
+  plain.run_point = [](const SweepPoint& p, int) {
+    return synth_result(p.index);
+  };
+  const SweepOutcome ref = SweepEngine(plain).run(points);
+  EXPECT_EQ(jsonl_lines(out.rows), jsonl_lines(ref.rows))
+      << "rows the dead worker already streamed are kept, the rest re-run";
+}
+
+TEST(Coordinator, CommandWorkerFailuresNameExitStatusAndSignal) {
+  const std::string scratch = fresh_scratch("cmdfail");
+
+  auto run_with_cmd = [&](const std::string& shell_cmd, int task_retries) {
+    CommandLauncher launcher({}, [&](const LaunchTask&) {
+      return std::vector<std::string>{"/bin/sh", "-c", shell_cmd};
+    });
+    CoordinatorOptions opts;
+    opts.launcher = &launcher;
+    opts.workers = 1;
+    opts.max_task_retries = task_retries;
+    opts.scratch_dir = scratch;
+    return run_campaign(synth_points(2), opts);
+  };
+
+  // The command exits nonzero without writing an artifact: after the
+  // re-dispatch budget the points are finalized failed, naming the fate.
+  const CampaignOutcome exited = run_with_cmd("exit 7", 1);
+  EXPECT_EQ(exited.failed, 2u);
+  EXPECT_EQ(exited.task_retries, 1u);
+  EXPECT_EQ(exited.tasks, 2u);
+  for (const SweepRow& r : exited.rows) {
+    EXPECT_FALSE(r.ok);
+    EXPECT_NE(r.error.find("worker died"), std::string::npos) << r.error;
+    EXPECT_NE(r.error.find("exited 7"), std::string::npos) << r.error;
+  }
+
+  const CampaignOutcome killed = run_with_cmd("kill -KILL $$", 0);
+  EXPECT_EQ(killed.failed, 2u);
+  for (const SweepRow& r : killed.rows)
+    EXPECT_NE(r.error.find("signal 9"), std::string::npos) << r.error;
+}
+
+// ---- crash-tolerant JSONL reader ------------------------------------------
+
+SweepRow tolerant_row(std::size_t index, bool ok) {
+  SweepRow r;
+  r.index = index;
+  r.label = "synth/p" + std::to_string(index);
+  r.ok = ok;
+  if (!ok) r.error = "boom";
+  r.result = synth_result(index);
+  return r;
+}
+
+void write_file(const std::string& path, const std::string& content) {
+  std::ofstream out(path, std::ios::trunc);
+  ASSERT_TRUE(out.good()) << path;
+  out << content;
+}
+
+TEST(ReadJsonlTolerant, DropsOnlyTheTornFinalLine) {
+  const std::string dir = fresh_scratch("tolerant");
+  const std::string l0 = SweepResultStore::jsonl_line(tolerant_row(0, true));
+  const std::string l1 = SweepResultStore::jsonl_line(tolerant_row(1, false));
+
+  const std::string torn = dir + "/torn.jsonl";
+  write_file(torn, l0 + "\n" + l1 + "\n{\"index\":2,\"label\":\"torn-mid");
+  std::size_t dropped = 99;
+  const auto rows = read_jsonl_tolerant(torn, &dropped);
+  ASSERT_EQ(rows.size(), 2u);
+  EXPECT_EQ(dropped, 1u);
+  EXPECT_EQ(rows[0].index, 0u);
+  EXPECT_FALSE(rows[1].ok);
+
+  const std::string clean = dir + "/clean.jsonl";
+  write_file(clean, l0 + "\n" + l1 + "\n");
+  dropped = 99;
+  EXPECT_EQ(read_jsonl_tolerant(clean, &dropped).size(), 2u);
+  EXPECT_EQ(dropped, 0u);
+
+  // A malformed line with complete lines after it is corruption, not a
+  // crash tail — refuse the artifact.
+  const std::string corrupt = dir + "/corrupt.jsonl";
+  write_file(corrupt, l0 + "\ngarbage not json\n" + l1 + "\n");
+  EXPECT_THROW(read_jsonl_tolerant(corrupt), std::runtime_error);
+
+  EXPECT_THROW(read_jsonl_tolerant(dir + "/no-such-file.jsonl"),
+               std::runtime_error);
+}
+
+TEST(ReadJsonlTolerant, LaterDuplicatesWin) {
+  // A resumed campaign appends a fresh (successful) row for a point that
+  // previously failed; readers must keep the newer one.
+  const std::string dir = fresh_scratch("dedupe");
+  const std::string path = dir + "/dup.jsonl";
+  write_file(path,
+             SweepResultStore::jsonl_line(tolerant_row(4, false)) + "\n" +
+                 SweepResultStore::jsonl_line(tolerant_row(4, true)) + "\n");
+  const auto rows = read_jsonl_tolerant(path);
+  ASSERT_EQ(rows.size(), 1u);
+  EXPECT_EQ(rows[0].index, 4u);
+  EXPECT_TRUE(rows[0].ok) << "the later (resumed) row replaced the failure";
+}
+
+// ---- CSV sanitization (satellite: labels can carry commas) ----------------
+
+TEST(SweepResultStore, CsvSanitizesCommasAndNewlinesInLabelAndError) {
+  const std::string dir = fresh_scratch("csv");
+  const std::string csv = dir + "/sanitize.csv";
+  SweepRow r = tolerant_row(0, false);
+  r.label = "cg/manual/dram1,5MiB";  // locale-style decimal comma
+  r.error = "boom, with comma\nand newline";
+  {
+    SweepResultStore store;
+    store.write_csv_at_finish(csv);
+    store.add(r);
+    store.finish();
+  }
+  std::ifstream in(csv);
+  ASSERT_TRUE(in.good());
+  std::string header, row;
+  ASSERT_TRUE(std::getline(in, header));
+  ASSERT_TRUE(std::getline(in, row));
+  std::string extra;
+  EXPECT_FALSE(std::getline(in, extra)) << "the newline was flattened";
+  EXPECT_EQ(std::count(row.begin(), row.end(), ','), 11)
+      << "cell commas would shift every column after label: " << row;
+  EXPECT_NE(row.find("cg/manual/dram1;5MiB"), std::string::npos) << row;
+  EXPECT_NE(row.find("boom; with comma and newline"), std::string::npos) << row;
+}
+
+// ---- sharded-process summary fields (satellite) ---------------------------
+
+TEST(ShardedProcesses, ReportsShardsAndPerChildJobsAndAggregatesRetries) {
+  const std::string scratch = fresh_scratch("sharded");
+  const auto points = synth_points(6);
+  ShardedOptions opts;
+  opts.shards = 2;
+  opts.scratch_dir = scratch;
+  opts.engine.jobs = 1;
+  opts.engine.max_point_retries = 1;
+  opts.engine.backoff.base_s = 1e-4;
+  opts.engine.run_point = [](const SweepPoint& p, int attempt) {
+    if (attempt == 0 && p.index == 2)
+      throw std::runtime_error("injected transient fault");
+    return synth_result(p.index);
+  };
+
+  const SweepOutcome out = run_sharded_processes(points, opts);
+  EXPECT_EQ(out.shards, 2) << "process fan-out reported separately";
+  EXPECT_EQ(out.jobs_used, 1) << "per-child width, not the sum over shards";
+  EXPECT_EQ(out.retries, 1u) << "child retry counters aggregate via sidecars";
+  EXPECT_EQ(out.failed, 0u);
+  ASSERT_EQ(out.rows.size(), points.size());
+  for (std::size_t i = 0; i < out.rows.size(); ++i)
+    EXPECT_EQ(out.rows[i].index, i) << "merged rows are point-ordered";
+}
+
+// ---- wait-status naming ---------------------------------------------------
+
+TEST(DescribeWaitStatus, NamesExitCodesAndSignals) {
+  auto wait_status_of = [](void (*child)()) {
+    std::fflush(nullptr);
+    const pid_t pid = fork();
+    if (pid == 0) {
+      child();
+      _exit(0);
+    }
+    int status = 0;
+    EXPECT_EQ(waitpid(pid, &status, 0), pid);
+    return status;
+  };
+  EXPECT_EQ(describe_wait_status(wait_status_of([] { _exit(4); })),
+            "exited 4");
+  const std::string sig =
+      describe_wait_status(wait_status_of([] { raise(SIGKILL); }));
+  EXPECT_EQ(sig.rfind("killed by signal 9", 0), 0u) << sig;
+}
+
+}  // namespace
+}  // namespace unimem::sweep

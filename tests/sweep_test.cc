@@ -162,7 +162,7 @@ TEST(SweepSpec, SmokeClampAlsoClampsExplicitPoints) {
 }
 
 TEST(SweepSpec, EveryRegisteredSpecExpands) {
-  EXPECT_EQ(spec_names().size(), 11u);
+  EXPECT_EQ(spec_names().size(), 12u);
   for (const std::string& name : spec_names()) {
     auto s = spec_by_name(name);
     ASSERT_TRUE(s.has_value()) << name;

@@ -8,6 +8,9 @@
 //   unimem_sweep --spec fig12 --shards 4            # fork 4 shard children
 //   unimem_sweep --spec fig12 --shard 0/2 --jsonl s0.jsonl   # one slice
 //   unimem_sweep --merge s0.jsonl s1.jsonl --csv merged.csv  # stitch back
+//   unimem_sweep --spec fig12 --launcher fork --workers 4 --steal
+//                --retries 2 --jsonl out.jsonl     # coordinator service
+//   unimem_sweep --spec fig12 --resume --jsonl out.jsonl     # crash-restart
 //
 // Runs a named SweepSpec through the SweepEngine: one World per point,
 // concurrency bounded by simulated ranks in flight, DRAM-only
@@ -19,19 +22,41 @@
 // expansion (point indices stay those of the full expansion), `--merge`
 // stitches per-shard JSONL files back into the point-ordered CSV/JSONL,
 // and `--shards N` does both in one invocation by forking N child
-// processes.  Every topology produces byte-identical CSV/JSONL to a
-// single-process `--jobs 1` run (asserted by the sweep_shard_golden
-// ctest).
+// processes.
+//
+// Service mode: `--launcher inproc|fork|cmd[:PREFIX]` hands the campaign
+// to the coordinator (src/sweep/coordinator.h): chunked dispatch across
+// `--workers` slots, optional `--steal` work stealing, `--retries N`
+// per-point retries with deterministic backoff, re-dispatch of tasks
+// whose worker died, `--resume` crash-restart from an existing --jsonl
+// artifact, and a live `--summary-json` rewritten (atomically) after
+// every task.  The cmd launcher re-invokes this binary (optionally
+// through a PREFIX such as "ssh host") with `--indices`, so any transport
+// that can run a command against a shared filesystem works.
+//
+// Every topology produces byte-identical CSV/JSONL to a single-process
+// `--jobs 1` run (asserted by the sweep_shard_golden ctest).
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <cstdint>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <exception>
 #include <filesystem>
+#include <map>
+#include <memory>
+#include <set>
 #include <string>
 #include <thread>
 #include <vector>
 
+#include "common/rng.h"
+#include "sweep/coordinator.h"
 #include "sweep/engine.h"
+#include "sweep/launcher.h"
 #include "sweep/result_store.h"
 #include "sweep/spec.h"
 
@@ -47,19 +72,74 @@ void usage(std::FILE* out) {
       "  --jobs N             concurrent jobs (default: hardware threads)\n"
       "  --ranks N            max simulated ranks in flight (default: 4*jobs)\n"
       "  --filter STR         run only points whose label contains STR\n"
+      "  --indices I,J,...    run only the named expansion indices\n"
       "  --points             print the expanded point list and exit\n"
       "  --csv PATH           write the result table as CSV\n"
       "  --jsonl PATH         stream per-point results as JSONL\n"
       "  --summary-json PATH  write a machine-readable batch summary\n"
+      "                       (service mode rewrites it live per task)\n"
       "  --shard I/N          run only the I-th of N deterministic shard slices\n"
       "  --shards N           fork N shard child processes and merge their rows\n"
       "  --merge FILE...      stitch per-shard JSONL files into --csv/--jsonl\n"
       "                       (with --spec: verify the merge covers the spec)\n"
       "  --profiler exact|N   override the spec's profiling tier: exact, or\n"
       "                       sampled with base period N (collapses the prof axis)\n"
+      "  --retries N          re-run failed points up to N times with capped\n"
+      "                       deterministic exponential backoff\n"
+      "  --launcher KIND      service mode: dispatch via a coordinator; KIND is\n"
+      "                       inproc, fork, or cmd[:PREFIX] (e.g. cmd:ssh host)\n"
+      "  --workers N          coordinator worker slots (default 2; implies\n"
+      "                       --launcher inproc when none given)\n"
+      "  --steal              work-steal chunks between coordinator workers\n"
+      "  --resume             skip points already ok in the --jsonl artifact\n"
+      "                       (tolerates a torn last line from a crash)\n"
       "  --smoke              clamp to smoke scale (same as UNIMEM_BENCH_SMOKE=1)\n"
-      "  --quiet              suppress the stdout table\n",
+      "  --quiet              suppress the stdout table\n"
+      "\n"
+      "fault-injection / internal (used by tests and the cmd launcher):\n"
+      "  --inject-fail P[:SEED]  fail each point's first attempt with seeded\n"
+      "                          probability P (deterministic per index)\n"
+      "  --backoff-base S        retry backoff base delay in seconds\n"
+      "  --attempt-base N        campaign-global attempt number of this task\n"
+      "  --task-meta PATH        write the engine counter sidecar after the run\n",
       out);
+}
+
+/// Strict full-string signed parse: rejects empty strings, trailing
+/// garbage ("16x"), and out-of-range values — unlike atoi/atol, which
+/// accept all three silently.
+bool parse_i64(const char* s, long long lo, long long hi, long long* out) {
+  if (s == nullptr || *s == '\0') return false;
+  errno = 0;
+  char* end = nullptr;
+  const long long v = std::strtoll(s, &end, 10);
+  if (errno == ERANGE || end == s || *end != '\0') return false;
+  if (v < lo || v > hi) return false;
+  *out = v;
+  return true;
+}
+
+bool parse_u64(const char* s, unsigned long long lo, unsigned long long hi,
+               unsigned long long* out) {
+  if (s == nullptr || *s == '\0' || *s == '-') return false;
+  errno = 0;
+  char* end = nullptr;
+  const unsigned long long v = std::strtoull(s, &end, 10);
+  if (errno == ERANGE || end == s || *end != '\0') return false;
+  if (v < lo || v > hi) return false;
+  *out = v;
+  return true;
+}
+
+bool parse_f64(const char* s, double lo, double hi, double* out) {
+  if (s == nullptr || *s == '\0') return false;
+  errno = 0;
+  char* end = nullptr;
+  const double v = std::strtod(s, &end);
+  if (errno == ERANGE || end == s || *end != '\0') return false;
+  if (!(v >= lo && v <= hi)) return false;
+  *out = v;
+  return true;
 }
 
 struct Args {
@@ -67,11 +147,22 @@ struct Args {
   std::string filter;
   std::string profiler;  ///< --profiler exact|N ("" = spec default)
   std::string csv, jsonl, summary_json;
+  std::string launcher;   ///< "" = engine mode; inproc|fork|cmd[:PREFIX]
+  std::string task_meta;  ///< --task-meta sidecar path ("" = none)
   std::vector<std::string> merge_inputs;
+  std::vector<std::size_t> indices;  ///< --indices selection ("" = all)
+  bool have_indices = false;
   int jobs = 0;
   int ranks = 0;
   int shard = -1, nshards = 0;  ///< --shard I/N
   int fork_shards = 0;          ///< --shards N
+  int retries = 0;
+  int workers = 0;  ///< 0 = default (2) in service mode
+  int attempt_base = 0;
+  double inject_fail = 0.0;
+  std::uint64_t inject_seed = 20177;  ///< conf_sc_WuHL17 vintage
+  double backoff_base = -1.0;         ///< < 0 = RetryBackoff default
+  bool steal = false, resume = false;
   bool list = false, points = false, smoke = false, quiet = false;
   bool merge = false;
 };
@@ -97,6 +188,10 @@ bool parse(int argc, char** argv, Args& a) {
       a.smoke = true;
     } else if (arg == "--quiet") {
       a.quiet = true;
+    } else if (arg == "--steal") {
+      a.steal = true;
+    } else if (arg == "--resume") {
+      a.resume = true;
     } else if (arg == "--spec") {
       const char* v = value("--spec");
       if (v == nullptr) return false;
@@ -109,7 +204,9 @@ bool parse(int argc, char** argv, Args& a) {
       const char* v = value("--profiler");
       if (v == nullptr) return false;
       a.profiler = v;
-      if (a.profiler != "exact" && std::atol(a.profiler.c_str()) < 1) {
+      unsigned long long period = 0;
+      if (a.profiler != "exact" &&
+          !parse_u64(v, 1, UINT64_MAX, &period)) {
         std::fprintf(stderr,
                      "unimem_sweep: --profiler wants 'exact' or a period N "
                      ">= 1 (got '%s')\n",
@@ -128,18 +225,124 @@ bool parse(int argc, char** argv, Args& a) {
       const char* v = value("--summary-json");
       if (v == nullptr) return false;
       a.summary_json = v;
+    } else if (arg == "--task-meta") {
+      const char* v = value("--task-meta");
+      if (v == nullptr) return false;
+      a.task_meta = v;
+    } else if (arg == "--launcher") {
+      const char* v = value("--launcher");
+      if (v == nullptr) return false;
+      a.launcher = v;
+      if (a.launcher != "inproc" && a.launcher != "fork" &&
+          a.launcher != "cmd" && a.launcher.rfind("cmd:", 0) != 0) {
+        std::fprintf(stderr,
+                     "unimem_sweep: --launcher wants inproc, fork, or "
+                     "cmd[:PREFIX] (got '%s')\n",
+                     v);
+        return false;
+      }
     } else if (arg == "--jobs") {
       const char* v = value("--jobs");
       if (v == nullptr) return false;
-      a.jobs = std::atoi(v);
+      long long n = 0;
+      if (!parse_i64(v, 0, 1 << 20, &n)) {
+        std::fprintf(stderr, "unimem_sweep: --jobs wants an integer >= 0 "
+                     "(got '%s')\n", v);
+        return false;
+      }
+      a.jobs = static_cast<int>(n);
     } else if (arg == "--ranks") {
       const char* v = value("--ranks");
       if (v == nullptr) return false;
-      a.ranks = std::atoi(v);
+      long long n = 0;
+      if (!parse_i64(v, 0, 1 << 20, &n)) {
+        std::fprintf(stderr, "unimem_sweep: --ranks wants an integer >= 0 "
+                     "(got '%s')\n", v);
+        return false;
+      }
+      a.ranks = static_cast<int>(n);
+    } else if (arg == "--retries") {
+      const char* v = value("--retries");
+      if (v == nullptr) return false;
+      long long n = 0;
+      if (!parse_i64(v, 0, 1000, &n)) {
+        std::fprintf(stderr, "unimem_sweep: --retries wants an integer in "
+                     "[0, 1000] (got '%s')\n", v);
+        return false;
+      }
+      a.retries = static_cast<int>(n);
+    } else if (arg == "--workers") {
+      const char* v = value("--workers");
+      if (v == nullptr) return false;
+      long long n = 0;
+      if (!parse_i64(v, 1, 1 << 16, &n)) {
+        std::fprintf(stderr, "unimem_sweep: --workers wants an integer >= 1 "
+                     "(got '%s')\n", v);
+        return false;
+      }
+      a.workers = static_cast<int>(n);
+    } else if (arg == "--attempt-base") {
+      const char* v = value("--attempt-base");
+      if (v == nullptr) return false;
+      long long n = 0;
+      if (!parse_i64(v, 0, 1 << 20, &n)) {
+        std::fprintf(stderr, "unimem_sweep: --attempt-base wants an integer "
+                     ">= 0 (got '%s')\n", v);
+        return false;
+      }
+      a.attempt_base = static_cast<int>(n);
+    } else if (arg == "--backoff-base") {
+      const char* v = value("--backoff-base");
+      if (v == nullptr) return false;
+      if (!parse_f64(v, 0.0, 3600.0, &a.backoff_base)) {
+        std::fprintf(stderr, "unimem_sweep: --backoff-base wants seconds in "
+                     "[0, 3600] (got '%s')\n", v);
+        return false;
+      }
+    } else if (arg == "--inject-fail") {
+      const char* v = value("--inject-fail");
+      if (v == nullptr) return false;
+      std::string spec = v;
+      const std::size_t colon = spec.find(':');
+      bool ok = true;
+      if (colon != std::string::npos) {
+        unsigned long long seed = 0;
+        ok = parse_u64(spec.c_str() + colon + 1, 0, UINT64_MAX, &seed);
+        a.inject_seed = seed;
+        spec.resize(colon);
+      }
+      if (!ok || !parse_f64(spec.c_str(), 0.0, 1.0, &a.inject_fail)) {
+        std::fprintf(stderr, "unimem_sweep: --inject-fail wants P[:SEED] "
+                     "with P in [0, 1] (got '%s')\n", v);
+        return false;
+      }
+    } else if (arg == "--indices") {
+      const char* v = value("--indices");
+      if (v == nullptr) return false;
+      a.have_indices = true;
+      const std::string list = v;
+      std::size_t start = 0;
+      bool ok = !list.empty();
+      while (ok && start <= list.size()) {
+        std::size_t comma = list.find(',', start);
+        if (comma == std::string::npos) comma = list.size();
+        unsigned long long idx = 0;
+        ok = parse_u64(list.substr(start, comma - start).c_str(), 0,
+                       SIZE_MAX, &idx);
+        if (ok) a.indices.push_back(static_cast<std::size_t>(idx));
+        start = comma + 1;
+      }
+      if (!ok) {
+        std::fprintf(stderr, "unimem_sweep: --indices wants a comma-separated "
+                     "integer list (got '%s')\n", v);
+        return false;
+      }
     } else if (arg == "--shard") {
       const char* v = value("--shard");
       if (v == nullptr) return false;
-      if (std::sscanf(v, "%d/%d", &a.shard, &a.nshards) != 2 || a.shard < 0 ||
+      int consumed = -1;
+      if (std::sscanf(v, "%d/%d%n", &a.shard, &a.nshards, &consumed) != 2 ||
+          consumed != static_cast<int>(std::strlen(v)) || a.shard < 0 ||
           a.nshards < 1 || a.shard >= a.nshards) {
         std::fprintf(stderr,
                      "unimem_sweep: --shard wants I/N with 0 <= I < N "
@@ -150,12 +353,13 @@ bool parse(int argc, char** argv, Args& a) {
     } else if (arg == "--shards") {
       const char* v = value("--shards");
       if (v == nullptr) return false;
-      a.fork_shards = std::atoi(v);
-      if (a.fork_shards < 1) {
+      long long n = 0;
+      if (!parse_i64(v, 1, 1 << 16, &n)) {
         std::fprintf(stderr, "unimem_sweep: --shards wants N >= 1 (got '%s')\n",
                      v);
         return false;
       }
+      a.fork_shards = static_cast<int>(n);
     } else if (arg == "--merge") {
       a.merge = true;
     } else if (a.merge && !arg.empty() && arg[0] != '-') {
@@ -177,7 +381,32 @@ bool parse(int argc, char** argv, Args& a) {
     std::fprintf(stderr, "unimem_sweep: pick one of --shard or --shards\n");
     return false;
   }
+  // --steal/--workers only mean something under a coordinator; default
+  // them into the cheapest launcher rather than silently ignoring them.
+  if (a.launcher.empty() && (a.steal || a.workers > 0)) a.launcher = "inproc";
+  if (!a.launcher.empty() && (a.shard >= 0 || a.fork_shards > 0)) {
+    std::fprintf(stderr,
+                 "unimem_sweep: --launcher excludes --shard/--shards (the "
+                 "coordinator owns the topology)\n");
+    return false;
+  }
+  if (a.resume && a.jsonl.empty()) {
+    std::fprintf(stderr, "unimem_sweep: --resume needs --jsonl PATH (the "
+                 "artifact to resume from)\n");
+    return false;
+  }
   return true;
+}
+
+/// Absolute path of this binary, for the cmd launcher's self-invocation.
+std::string self_exe(const char* argv0) {
+  char buf[4096];
+  const ssize_t n = readlink("/proc/self/exe", buf, sizeof buf - 1);
+  if (n > 0) {
+    buf[n] = '\0';
+    return buf;
+  }
+  return argv0;
 }
 
 }  // namespace
@@ -202,11 +431,11 @@ int run_cli(int argc, char** argv) {
   }
 
   if (a.list) {
-    std::printf("%-12s %-7s %s\n", "spec", "points", "title");
+    std::printf("%-18s %-7s %s\n", "spec", "points", "title");
     for (const std::string& name : sweep::spec_names()) {
       sweep::SweepSpec s = *sweep::spec_by_name(name);
       if (a.smoke || sweep::smoke_requested()) s = sweep::smoke_clamped(s);
-      std::printf("%-12s %-7zu %s\n", name.c_str(), s.size(), s.title.c_str());
+      std::printf("%-18s %-7zu %s\n", name.c_str(), s.size(), s.title.c_str());
     }
     return 0;
   }
@@ -279,10 +508,10 @@ int run_cli(int argc, char** argv) {
   if (!a.profiler.empty()) {
     // Collapse the profiling-tier axis to the requested value; explicit
     // points keep their own configs (they never carry the prof axis).
-    spec->profiler_periods = {
-        a.profiler == "exact"
-            ? 0
-            : static_cast<std::uint64_t>(std::atol(a.profiler.c_str()))};
+    unsigned long long period = 0;
+    if (a.profiler != "exact")
+      parse_u64(a.profiler.c_str(), 1, UINT64_MAX, &period);  // parse() vetted
+    spec->profiler_periods = {static_cast<std::uint64_t>(period)};
   }
 
   auto points = spec->expand(a.filter);
@@ -290,6 +519,25 @@ int run_cli(int argc, char** argv) {
     std::fprintf(stderr, "unimem_sweep: no points match filter '%s'\n",
                  a.filter.c_str());
     return 1;
+  }
+  if (a.have_indices) {
+    // Select by expansion index (the cmd launcher's task vocabulary);
+    // order follows the list so a chunk executes in its dispatch order.
+    std::map<std::size_t, const sweep::SweepPoint*> by_index;
+    for (const auto& p : points) by_index[p.index] = &p;
+    std::vector<sweep::SweepPoint> picked;
+    for (std::size_t idx : a.indices) {
+      const auto it = by_index.find(idx);
+      if (it == by_index.end()) {
+        std::fprintf(stderr,
+                     "unimem_sweep: --indices names point %zu, which the "
+                     "expansion does not contain\n",
+                     idx);
+        return 1;
+      }
+      picked.push_back(*it->second);
+    }
+    points = std::move(picked);
   }
   // Slice after filtering; indices stay those of the full expansion, so a
   // later --merge reassembles the original table.  An empty slice (more
@@ -305,17 +553,251 @@ int run_cli(int argc, char** argv) {
     return 0;
   }
 
+  // Resume: read the previous campaign's artifact BEFORE stream_jsonl
+  // truncates it.  Only ok rows whose index and label match the current
+  // expansion count; failed rows get a second chance.
+  std::vector<sweep::SweepRow> resume_rows;
+  if (a.resume && std::filesystem::exists(a.jsonl)) {
+    std::size_t dropped = 0;
+    resume_rows = sweep::read_jsonl_tolerant(a.jsonl, &dropped);
+    if (dropped != 0)
+      std::fprintf(stderr,
+                   "unimem_sweep: note: dropped a torn trailing line from %s "
+                   "(previous writer died mid-write); its point re-runs\n",
+                   a.jsonl.c_str());
+  }
+
   sweep::SweepResultStore store;
   if (!a.jsonl.empty()) store.stream_jsonl(a.jsonl);
   if (!a.csv.empty()) store.write_csv_at_finish(a.csv);
+  // Service and resumed runs may finalize rows out of point order even at
+  // --jobs 1; rewriting the artifact at finish keeps the byte-identity
+  // contract across every topology.  Plain engine runs keep the streamed
+  // file as-is (completion order == point order at --jobs 1).
+  if (!a.jsonl.empty() && (a.resume || !a.launcher.empty()))
+    store.write_jsonl_at_finish(a.jsonl);
 
   sweep::EngineOptions eopts;
   eopts.jobs = a.jobs;
   eopts.max_inflight_ranks = a.ranks;
+  eopts.max_point_retries = a.retries;
+  eopts.attempt_base = a.attempt_base;
+  if (a.backoff_base >= 0) eopts.backoff.base_s = a.backoff_base;
+  if (a.inject_fail > 0) {
+    const double prob = a.inject_fail;
+    const std::uint64_t seed = a.inject_seed;
+    eopts.run_point = [prob, seed](const sweep::SweepPoint& p, int attempt) {
+      if (attempt == 0) {
+        Rng rng(seed ^ (static_cast<std::uint64_t>(p.index) *
+                        0x9e3779b97f4a7c15ull));
+        if (rng.uniform() < prob)
+          throw std::runtime_error("injected transient fault (attempt 0)");
+      }
+      return exp::run_once(p.cfg);
+    };
+  }
   eopts.on_result = [&](const sweep::SweepRow& row) { store.add(row); };
 
+  // ---- service mode: coordinator + pluggable launcher -------------------
+  if (!a.launcher.empty()) {
+    namespace fs = std::filesystem;
+    const int workers = a.workers > 0 ? a.workers : 2;
+    if (eopts.jobs <= 0) {
+      const unsigned hw = std::thread::hardware_concurrency();
+      eopts.jobs = std::max(1, static_cast<int>(hw) / workers);
+    }
+    eopts.on_result = nullptr;  // rows come back through task artifacts
+
+    std::string scratch =
+        (fs::temp_directory_path() / "unimem_sweep.XXXXXX").string();
+    if (mkdtemp(scratch.data()) == nullptr) {
+      std::fprintf(stderr, "unimem_sweep: cannot create scratch dir\n");
+      return 1;
+    }
+
+    std::unique_ptr<sweep::Launcher> launcher;
+    if (a.launcher == "inproc") {
+      launcher = std::make_unique<sweep::InProcessLauncher>();
+    } else if (a.launcher == "fork") {
+      launcher = std::make_unique<sweep::ForkLauncher>();
+    } else {
+      // cmd[:PREFIX]: re-invoke this binary (through the PREFIX tokens,
+      // e.g. "ssh host") with --indices naming the chunk's points.
+      std::vector<std::string> prefix;
+      if (a.launcher.rfind("cmd:", 0) == 0) {
+        const std::string rest = a.launcher.substr(4);
+        std::size_t start = 0;
+        while (start < rest.size()) {
+          std::size_t sp = rest.find(' ', start);
+          if (sp == std::string::npos) sp = rest.size();
+          if (sp > start) prefix.push_back(rest.substr(start, sp - start));
+          start = sp + 1;
+        }
+      }
+      const std::string self = self_exe(argv[0]);
+      const Args args_copy = a;
+      auto make_argv = [self, args_copy](const sweep::LaunchTask& t) {
+        std::vector<std::string> v{self, "--spec", args_copy.spec, "--quiet"};
+        if (args_copy.smoke) v.push_back("--smoke");
+        if (!args_copy.profiler.empty()) {
+          v.push_back("--profiler");
+          v.push_back(args_copy.profiler);
+        }
+        v.push_back("--jobs");
+        v.push_back(std::to_string(t.engine.jobs));
+        if (t.engine.max_inflight_ranks > 0) {
+          v.push_back("--ranks");
+          v.push_back(std::to_string(t.engine.max_inflight_ranks));
+        }
+        if (t.engine.max_point_retries > 0) {
+          v.push_back("--retries");
+          v.push_back(std::to_string(t.engine.max_point_retries));
+        }
+        if (args_copy.backoff_base >= 0) {
+          v.push_back("--backoff-base");
+          v.push_back(std::to_string(args_copy.backoff_base));
+        }
+        if (args_copy.inject_fail > 0) {
+          v.push_back("--inject-fail");
+          v.push_back(std::to_string(args_copy.inject_fail) + ":" +
+                      std::to_string(args_copy.inject_seed));
+        }
+        if (t.attempt_base > 0) {
+          v.push_back("--attempt-base");
+          v.push_back(std::to_string(t.attempt_base));
+        }
+        std::string idx;
+        for (const sweep::SweepPoint& p : t.points) {
+          if (!idx.empty()) idx += ',';
+          idx += std::to_string(p.index);
+        }
+        v.push_back("--indices");
+        v.push_back(idx);
+        v.push_back("--jsonl");
+        v.push_back(t.artifact);
+        v.push_back("--task-meta");
+        v.push_back(t.artifact + ".meta");
+        return v;
+      };
+      launcher = std::make_unique<sweep::CommandLauncher>(std::move(prefix),
+                                                          make_argv);
+    }
+
+    sweep::CoordinatorOptions copts;
+    copts.launcher = launcher.get();
+    copts.workers = workers;
+    copts.steal = a.steal;
+    copts.engine = eopts;
+    copts.scratch_dir = scratch;
+    copts.resume_rows = std::move(resume_rows);
+    copts.on_final_row = [&](const sweep::SweepRow& row) { store.add(row); };
+    // Live summary: rewrite-and-rename after every task, so a watcher
+    // always reads a complete JSON document mid-campaign.
+    copts.on_progress = [&](const sweep::CampaignProgress& p) {
+      if (a.summary_json.empty()) return;
+      const std::string tmp = a.summary_json + ".tmp";
+      std::FILE* f = std::fopen(tmp.c_str(), "w");
+      if (f == nullptr) return;
+      std::fprintf(
+          f,
+          "{\"spec\":\"%s\",\"points\":%zu,\"done\":%zu,\"failed\":%zu,"
+          "\"resumed\":%zu,\"retries\":%zu,\"steals\":%zu,\"tasks\":%zu,"
+          "\"task_retries\":%zu,\"workers\":%d,\"launcher\":\"%s\","
+          "\"steal\":%s,\"complete\":%s,\"host_cpus\":%u}\n",
+          a.spec.c_str(), p.total, p.done, p.failed, p.resumed, p.retries,
+          p.steals, p.tasks, p.task_retries, workers, launcher->name(),
+          a.steal ? "true" : "false", p.complete ? "true" : "false",
+          std::thread::hardware_concurrency());
+      std::fclose(f);
+      std::rename(tmp.c_str(), a.summary_json.c_str());
+    };
+
+    sweep::CampaignOutcome outcome;
+    try {
+      outcome = sweep::run_campaign(points, copts);
+    } catch (...) {
+      fs::remove_all(scratch);
+      throw;
+    }
+    fs::remove_all(scratch);
+    store.finish();
+
+    if (!a.quiet) {
+      store.report(spec->title + " [" + a.spec + ", " +
+                   std::to_string(points.size()) + " points, service]")
+          .print();
+    }
+    std::printf(
+        "\nsweep %s [service/%s]: %zu points, %zu failed, %zu resumed, "
+        "%zu retries, %zu steals, %zu tasks (%zu re-dispatched), %d workers, "
+        "%.2fs wall, %zu worlds executed\n",
+        a.spec.c_str(), launcher->name(), outcome.rows.size(), outcome.failed,
+        outcome.resumed, outcome.retries, outcome.steals, outcome.tasks,
+        outcome.task_retries, outcome.workers, outcome.wall_s,
+        outcome.worlds_executed);
+
+    if (!a.summary_json.empty()) {
+      // Final summary: the live fields plus the engine aggregates that
+      // only exist once every task sidecar is in.
+      std::FILE* f = std::fopen(a.summary_json.c_str(), "w");
+      if (f == nullptr) {
+        std::fprintf(stderr, "unimem_sweep: cannot open %s\n",
+                     a.summary_json.c_str());
+        return 1;
+      }
+      std::fprintf(
+          f,
+          "{\"spec\":\"%s\",\"points\":%zu,\"done\":%zu,\"failed\":%zu,"
+          "\"resumed\":%zu,\"retries\":%zu,\"steals\":%zu,\"tasks\":%zu,"
+          "\"task_retries\":%zu,\"workers\":%d,\"launcher\":\"%s\","
+          "\"steal\":%s,\"complete\":true,\"jobs\":%d,\"wall_s\":%.6f,"
+          "\"worlds_executed\":%zu,\"baseline_requests\":%zu,"
+          "\"baseline_computed\":%zu,\"host_cpus\":%u}\n",
+          a.spec.c_str(), outcome.rows.size(), outcome.rows.size(),
+          outcome.failed, outcome.resumed, outcome.retries, outcome.steals,
+          outcome.tasks, outcome.task_retries, outcome.workers,
+          launcher->name(), a.steal ? "true" : "false", outcome.jobs_used,
+          outcome.wall_s, outcome.worlds_executed, outcome.baseline_requests,
+          outcome.baseline_computed, std::thread::hardware_concurrency());
+      std::fclose(f);
+    }
+    return outcome.failed == 0 ? 0 : 2;
+  }
+
+  // ---- engine mode (single process or forked shards) --------------------
+  std::size_t resumed = 0;
+  if (a.resume && !resume_rows.empty()) {
+    std::set<std::size_t> have;
+    std::map<std::size_t, const sweep::SweepPoint*> by_index;
+    for (const auto& p : points) by_index[p.index] = &p;
+    std::vector<sweep::SweepRow> keep;
+    for (const sweep::SweepRow& row : resume_rows) {
+      const auto it = by_index.find(row.index);
+      if (it == by_index.end()) continue;
+      if (row.label != it->second->label)
+        throw std::runtime_error(
+            "resume row " + std::to_string(row.index) + " has label '" +
+            row.label + "' but the spec expands to '" + it->second->label +
+            "' — stale artifact from another spec?");
+      if (!row.ok || have.count(row.index) != 0) continue;
+      have.insert(row.index);
+      keep.push_back(row);
+    }
+    std::sort(keep.begin(), keep.end(),
+              [](const sweep::SweepRow& x, const sweep::SweepRow& y) {
+                return x.index < y.index;
+              });
+    for (const sweep::SweepRow& row : keep) store.add(row);
+    resumed = keep.size();
+    std::vector<sweep::SweepPoint> todo;
+    for (const auto& p : points)
+      if (have.count(p.index) == 0) todo.push_back(p);
+    points = std::move(todo);
+  }
+  const std::size_t total_points = points.size() + resumed;
+
   sweep::SweepOutcome outcome;
-  if (a.fork_shards > 0) {
+  if (a.fork_shards > 0 && !points.empty()) {
     // Multi-process topology: fork before any threads exist.  The parent
     // replays merged rows through on_result in point order, so --jsonl
     // streams the same bytes a --jobs 1 run would.
@@ -337,21 +819,37 @@ int run_cli(int argc, char** argv) {
       throw;
     }
     fs::remove_all(tmpl);
-  } else {
+  } else if (!points.empty()) {
     sweep::SweepEngine engine(eopts);
     outcome = engine.run(points);
   }
   store.finish();
 
+  if (!a.task_meta.empty()) {
+    // Engine counter sidecar (same format as shard/task metas), so a
+    // coordinator that launched this invocation via the cmd launcher can
+    // aggregate world/baseline/retry counters across the fleet.
+    std::FILE* f = std::fopen(a.task_meta.c_str(), "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "unimem_sweep: cannot open %s\n",
+                   a.task_meta.c_str());
+      return 1;
+    }
+    std::fprintf(f, "%zu %zu %zu %zu %d %zu\n", outcome.worlds_executed,
+                 outcome.baseline_requests, outcome.baseline_computed,
+                 outcome.failed, outcome.jobs_used, outcome.retries);
+    std::fclose(f);
+  }
+
   if (!a.quiet) {
     store.report(spec->title + " [" + a.spec + ", " +
-                 std::to_string(points.size()) + " points]")
+                 std::to_string(total_points) + " points]")
         .print();
   }
   std::printf(
-      "\nsweep %s: %zu points, %zu failed, %.2fs wall, %zu worlds executed "
-      "(naive: %zu), %zu/%zu baselines memoized\n",
-      a.spec.c_str(), outcome.rows.size(), outcome.failed, outcome.wall_s,
+      "\nsweep %s: %zu points, %zu failed, %zu resumed, %.2fs wall, "
+      "%zu worlds executed (naive: %zu), %zu/%zu baselines memoized\n",
+      a.spec.c_str(), total_points, outcome.failed, resumed, outcome.wall_s,
       outcome.worlds_executed, outcome.rows.size() + outcome.baseline_requests,
       outcome.baseline_requests - outcome.baseline_computed,
       outcome.baseline_requests);
@@ -366,10 +864,12 @@ int run_cli(int argc, char** argv) {
     std::fprintf(
         f,
         "{\"spec\":\"%s\",\"points\":%zu,\"failed\":%zu,\"jobs\":%d,"
+        "\"shards\":%d,\"retries\":%zu,\"resumed\":%zu,"
         "\"wall_s\":%.6f,\"worlds_executed\":%zu,\"baseline_requests\":%zu,"
         "\"baseline_computed\":%zu,\"host_cpus\":%u}\n",
-        a.spec.c_str(), outcome.rows.size(), outcome.failed, outcome.jobs_used,
-        outcome.wall_s, outcome.worlds_executed, outcome.baseline_requests,
+        a.spec.c_str(), total_points, outcome.failed, outcome.jobs_used,
+        outcome.shards, outcome.retries, resumed, outcome.wall_s,
+        outcome.worlds_executed, outcome.baseline_requests,
         outcome.baseline_computed, std::thread::hardware_concurrency());
     std::fclose(f);
   }
