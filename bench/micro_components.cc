@@ -25,6 +25,7 @@
 #include "simcache/analytic_cache.h"
 #include "simcache/exact_cache.h"
 #include "simmem/arena.h"
+#include "trace/trace.h"
 
 namespace {
 
@@ -410,6 +411,41 @@ void BM_MigrationRoundTrip(benchmark::State& state) {
                           state.range(0));
 }
 BENCHMARK(BM_MigrationRoundTrip)->Arg(1 << 20)->Arg(4 << 20);
+
+// Trace emit anchors (trace_emit_overhead in BENCH_components.json): the
+// runtime-disabled path must be a branch (<= 1 ns/event), the enabled path
+// a clock read + SPSC ring push (<= 50 ns/event).
+void BM_TraceEmitDisabledProduction(benchmark::State& state) {
+  // Recorder never started: every macro site is the relaxed-load fast path.
+  std::uint64_t i = 0;
+  for (auto _ : state) {
+    UNIMEM_TRACE_INSTANT1("bench", "tick", -1.0, "i", i);
+    ++i;
+  }
+  benchmark::DoNotOptimize(i);
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_TraceEmitDisabledProduction);
+
+void BM_TraceEmitProduction(benchmark::State& state) {
+  auto& rec = trace::TraceRecorder::instance();
+  rec.start(1 << 20);
+  trace::set_thread_track("bench", 0);
+  std::uint64_t i = 0;
+  for (auto _ : state) {
+    UNIMEM_TRACE_INSTANT1("bench", "tick", -1.0, "i", i);
+    // Drain (untimed) well before the ring fills so every timed emit
+    // measures the push path, never the drop path.
+    if ((++i & ((1u << 19) - 1)) == 0) {
+      state.PauseTiming();
+      rec.flush();
+      state.ResumeTiming();
+    }
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+  rec.stop();
+}
+BENCHMARK(BM_TraceEmitProduction);
 
 }  // namespace
 

@@ -52,5 +52,16 @@ jq --arg lbl "$LABEL" --slurpfile bench "$TMP" '
         ($ips["BM_ProfilerSampledAccessProduction"] /
          $ips["BM_ProfilerExactAccessProduction"]) * 100 | round / 100)
     else . end
+  # Trace emit cost in ns/event for both gate states (ISSUE: disabled <= 1,
+  # enabled <= 50), straight from the anchors just recorded.
+  | if ($ips["BM_TraceEmitDisabledProduction"] != null and
+        $ips["BM_TraceEmitProduction"] != null) then
+      .trace_emit_overhead = {
+        disabled_ns_per_event:
+          (1e9 / $ips["BM_TraceEmitDisabledProduction"] * 1000 | round / 1000),
+        enabled_ns_per_event:
+          (1e9 / $ips["BM_TraceEmitProduction"] * 1000 | round / 1000)
+      }
+    else . end
 ' "$OUT" > "$OUT.tmp" && mv "$OUT.tmp" "$OUT"
 echo "recorded '$LABEL' in $OUT"

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cstring>
 
+#include "trace/trace.h"
+
 namespace unimem::rt {
 
 MigrationEngine::MigrationEngine(Registry* registry)
@@ -23,8 +25,11 @@ void MigrationEngine::enqueue(UnitRef unit, mem::Tier to, double enqueue_vt) {
 
 void MigrationEngine::enqueue_batch(const std::vector<Item>& items) {
   std::deque<Request> ready;
-  for (const Item& it : items)
+  for (const Item& it : items) {
+    UNIMEM_TRACE_INSTANT2("migration", "enqueue", it.enqueue_vt, "object",
+                          it.unit.object, "chunk", it.unit.chunk);
     ready.push_back(Request{it.unit, it.to, it.enqueue_vt, 2});
+  }
   process(std::move(ready));
 }
 
@@ -65,6 +70,10 @@ void MigrationEngine::process(std::deque<Request> ready) {
         stats_.bytes_moved += copy->bytes;
         stats_.copy_time_s += copy_s;
         progress = true;
+        // Commit point: the decision (destination block, completion vt)
+        // is final here, on the rank thread, in virtual order.
+        UNIMEM_TRACE_INSTANT2("migration", "commit", done_vt, "object",
+                              req.unit.object, "bytes", copy->bytes);
         submit_copy(*copy);
       } else if (req.retries_left > 0) {
         // Destination full: a later request may free the space (an
@@ -92,6 +101,7 @@ void MigrationEngine::submit_copy(const Registry::PendingCopy& copy) {
 }
 
 void MigrationEngine::copy_worker() {
+  bool track_named = false;
   std::unique_lock<std::mutex> lk(copy_mu_);
   for (;;) {
     copy_cv_.wait(lk, [&] { return stop_ || !copies_.empty(); });
@@ -102,8 +112,17 @@ void MigrationEngine::copy_worker() {
     Registry::PendingCopy c = copies_.front();
     copies_.pop_front();
     lk.unlock();
+    if (trace::on() && !track_named) {
+      trace::set_thread_track("migration-helper", 100);
+      track_named = true;
+    }
+    // Wall-clock-only span (vt < 0): the physical copy has no virtual
+    // timestamp of its own — its modeled cost was charged at commit.
+    UNIMEM_TRACE_BEGIN2("migration", "copy", -1.0, "object", c.unit.object,
+                        "bytes", c.bytes);
     std::memcpy(c.dst, c.src, c.bytes);
     registry_->finish_migration(c);
+    UNIMEM_TRACE_END("migration", "copy", -1.0);
     lk.lock();
     if (--copy_pending_[c.unit] == 0) copy_pending_.erase(c.unit);
     --pending_src_in_tier_[static_cast<int>(c.from)];

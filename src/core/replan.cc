@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cmath>
 
+#include "trace/trace.h"
+
 namespace unimem::rt {
 
 std::map<UnitRef, double> ReplanController::unit_weights(
@@ -144,6 +146,11 @@ ReplanDecision ReplanController::decide(const Profiler& prof) const {
   ReplanDecision d;
   const std::map<UnitRef, double> w_new = unit_weights(prof);
   const std::set<UnitRef> drifted = drifted_units(w_new, &d.drift);
+  // Classification instant: wall-only (vt < 0) — the controller runs at
+  // the iteration boundary and owns no virtual timestamp of its own; the
+  // adopted path is traced by the runtime with its virtual time.
+  UNIMEM_TRACE_INSTANT2("replan", "classify", -1.0, "drifted",
+                        d.drift.drifted, "tracked", d.drift.tracked);
 
   double stale = 0;
   for (const PhaseObservation& ph : prof.phases()) stale += ph.phase_time_s;
@@ -163,7 +170,9 @@ ReplanDecision ReplanController::decide(const Profiler& prof) const {
   }
 
   double stale_pred = 0, repaired_pred = 0;
+  UNIMEM_TRACE_BEGIN1("replan", "repair", -1.0, "drifted", drifted.size());
   Plan repaired = repair(prof, w_new, drifted, &stale_pred, &repaired_pred);
+  UNIMEM_TRACE_END("replan", "repair", -1.0);
   d.stale_predicted_s = stale_pred;
   if (repaired_pred < stale_pred) {
     d.path = ReplanDecision::Path::kIncremental;

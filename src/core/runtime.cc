@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "common/log.h"
+#include "trace/trace.h"
 
 namespace unimem::rt {
 
@@ -59,6 +60,14 @@ Runtime::Runtime(RuntimeOptions opts, mem::HeteroMemory* hms,
     adaptive_rate_ = std::make_unique<perf::AdaptiveRate>(aopts);
   }
   if (comm_ != nullptr) comm_->set_hooks(this);
+
+  // The Runtime is constructed on its rank's thread (see run_once): name
+  // that thread's trace track after the rank so the exported timeline
+  // reads "rank 0", "rank 1", ... top to bottom.
+  if (trace::on()) {
+    const int rank = comm_ != nullptr ? comm_->rank() : 0;
+    trace::set_thread_track("rank " + std::to_string(rank), rank);
+  }
 }
 
 Runtime::~Runtime() {
@@ -239,10 +248,14 @@ void Runtime::open_phase() {
   phase_open_vt_ = clock().now();
   phase_compute_s_ = 0;
   phase_windows_.clear();
+  UNIMEM_TRACE_BEGIN2("runtime", "phase", phase_open_vt_, "iter", iteration_,
+                      "phase", phase_idx_);
 }
 
 void Runtime::close_phase(bool is_comm, double comm_time) {
   const double phase_time = clock().now() - phase_open_vt_;
+  UNIMEM_TRACE_END2("runtime", "phase", clock().now(), "is_comm",
+                    is_comm ? 1 : 0, "phase", phase_idx_);
   (void)comm_time;
   ++phases_executed_;
   cur_phase_times_.push_back(phase_time);
@@ -387,7 +400,10 @@ void Runtime::compute(const PhaseWork& work) {
 void Runtime::flush_sampled_profile() {
   if (aggregator_ == nullptr || !batches_pending_) return;
   batches_pending_ = false;
+  UNIMEM_TRACE_BEGIN("profiler", "drain", clock().now());
   std::vector<ProfileAggregator::SlotProfile> results = aggregator_->drain();
+  UNIMEM_TRACE_END1("profiler", "drain", clock().now(), "batches",
+                    results.size());
   std::uint64_t attributed = 0;
   for (auto& r : results) {
     attributed += r.attributed;
@@ -399,6 +415,8 @@ void Runtime::flush_sampled_profile() {
 
 void Runtime::make_plan() {
   flush_sampled_profile();  // defensive: fold must see completed profiles
+  UNIMEM_TRACE_BEGIN1("runtime", "plan.solve", clock().now(), "iter",
+                      iteration_);
   profiler_.fold(static_cast<std::size_t>(std::max(1, profile_iters_in_row_)));
   PlannerOptions popts;
   popts.local_search = opts_.enable_local_search;
@@ -423,6 +441,9 @@ void Runtime::make_plan() {
   charge_overhead(opts_.overhead_plan_fixed_s +
                   static_cast<double>(items) * opts_.overhead_per_plan_item_s);
   if (replanner_ != nullptr) replanner_->observe(profiler_);
+  UNIMEM_TRACE_END2("runtime", "plan.solve", clock().now(), "migrations",
+                    plan_.migration_count(), "kind",
+                    static_cast<int>(plan_.kind));
   Log::info("rank plan: kind=%d migrations/iter=%zu predicted=%.3fms",
             static_cast<int>(plan_.kind), plan_.migration_count(),
             plan_.predicted_iteration_s * 1e3);
@@ -433,6 +454,8 @@ void Runtime::finish_epoch_check() {
   ++replan_checks_;
   ReplanDecision d = replanner_->decide(profiler_);
   last_drift_fraction_ = d.drift.drift_fraction();
+  UNIMEM_TRACE_INSTANT2("replan", "decision", clock().now(), "path",
+                        static_cast<int>(d.path), "drifted", d.drift.drifted);
   switch (d.path) {
     case ReplanDecision::Path::kFullSolve:
       ++full_replans_;

@@ -6,6 +6,7 @@
 
 #include "baselines/static_context.h"
 #include "baselines/xmen.h"
+#include "trace/metrics.h"
 
 namespace unimem::exp {
 
@@ -173,6 +174,24 @@ RunResult run_once(const RunConfig& cfg) {
     out.mean_overhead_percent = overhead / n;
     out.mean_overlap_percent = overlap / n;
   }
+
+  // Fold per-run tallies into the global registry (additive across the
+  // runs of a sweep); the CLI snapshots this into --summary-json.
+  auto& reg = trace::MetricsRegistry::global();
+  reg.counter("runtime.migrations")->add(out.total_migrations);
+  reg.counter("runtime.bytes_moved")->add(out.total_bytes_moved);
+  std::uint64_t replan_checks = 0, repairs = 0, solves = 0, reprofiles = 0;
+  for (const rt::RuntimeStats& s : pass.stats) {
+    replan_checks += s.replan_checks;
+    repairs += s.incremental_repairs;
+    solves += s.full_replans;
+    reprofiles += s.reprofiles;
+  }
+  reg.counter("runtime.replan_checks")->add(replan_checks);
+  reg.counter("runtime.incremental_repairs")->add(repairs);
+  reg.counter("runtime.full_replans")->add(solves);
+  reg.counter("runtime.reprofiles")->add(reprofiles);
+  reg.histogram("runtime.world_time_s")->observe(out.time_s);
   return out;
 }
 

@@ -10,7 +10,10 @@
 #include <string>
 #include <utility>
 
+#include "common/log.h"
 #include "sweep/result_store.h"
+#include "trace/metrics.h"
+#include "trace/trace.h"
 
 namespace unimem::sweep {
 
@@ -140,6 +143,9 @@ CampaignOutcome run_campaign(const std::vector<SweepPoint>& points,
     Chunk c = std::move(q.back());
     q.pop_back();
     ++out.steals;
+    UNIMEM_TRACE_INSTANT2("coordinator", "task.steal", -1.0, "thief",
+                          static_cast<std::uint64_t>(slot), "victim",
+                          static_cast<std::uint64_t>(victim));
     return {true, std::move(c)};
   };
 
@@ -155,6 +161,15 @@ CampaignOutcome run_campaign(const std::vector<SweepPoint>& points,
         opts.scratch_dir + "/task-" + std::to_string(task.task_id) + ".jsonl";
     task.engine = opts.engine;
     task.engine.on_result = nullptr;
+    if (opts.trace_tasks) {
+      task.trace = task.artifact + ".trace";
+      task.trace_buf = opts.trace_buf;
+    }
+    UNIMEM_TRACE_INSTANT2("coordinator",
+                          chunk.redispatch > 0 ? "task.redispatch"
+                                               : "task.dispatch",
+                          -1.0, "task", task.task_id, "points",
+                          task.points.size());
     opts.launcher->start(task);
     active_artifact[slot] = task.artifact;
     active[slot] = std::move(chunk);
@@ -209,6 +224,15 @@ CampaignOutcome run_campaign(const std::vector<SweepPoint>& points,
       rows.clear();  // no artifact at all: every point is unfinished
     }
     read_task_meta(artifact + ".meta", &out);
+    if (opts.trace_tasks) {
+      // A dead worker may have spilled nothing; harvest what exists and
+      // let the merge skip unreadable shards.
+      std::FILE* tf = std::fopen((artifact + ".trace").c_str(), "rb");
+      if (tf != nullptr) {
+        std::fclose(tf);
+        out.trace_shards.push_back(artifact + ".trace");
+      }
+    }
 
     std::set<std::size_t> chunk_indices;
     for (const SweepPoint& p : chunk.points) chunk_indices.insert(p.index);
@@ -232,6 +256,10 @@ CampaignOutcome run_campaign(const std::vector<SweepPoint>& points,
       const std::string cause =
           status.detail.empty() ? "task did not run to completion"
                                 : status.detail;
+      Log::warn("sweep worker died (%s) — %zu point(s) unfinished",
+                cause.c_str(), chunk_indices.size());
+      UNIMEM_TRACE_INSTANT1("coordinator", "task.dead", -1.0, "unfinished",
+                            chunk_indices.size());
       out.task_failures.push_back(cause + " — " +
                                   std::to_string(chunk_indices.size()) +
                                   " point(s) unfinished");
@@ -258,6 +286,13 @@ CampaignOutcome run_campaign(const std::vector<SweepPoint>& points,
   out.wall_s =
       std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
           .count();
+  auto& reg = trace::MetricsRegistry::global();
+  reg.counter("campaign.tasks")->add(out.tasks);
+  reg.counter("campaign.task_retries")->add(out.task_retries);
+  reg.counter("campaign.steals")->add(out.steals);
+  reg.counter("campaign.resumed")->add(out.resumed);
+  reg.counter("campaign.failed_points")->add(out.failed);
+  reg.gauge("campaign.wall_s")->set(out.wall_s);
   progress(true);
   return out;
 }

@@ -89,6 +89,12 @@ struct CoordinatorOptions {
   /// first (in point order), then fresh points in completion order.
   std::function<void(const SweepRow&)> on_final_row;
   std::function<void(const CampaignProgress&)> on_progress;
+  /// Ask each task to spill a per-task trace shard ("<artifact>.trace",
+  /// binary format) for the coordinator to stitch into the campaign
+  /// timeline.  Set this for process-backed launchers only; in-process
+  /// tasks already emit into the coordinator's recorder.
+  bool trace_tasks = false;
+  std::size_t trace_buf = 0;  ///< forwarded to LaunchTask::trace_buf
 };
 
 struct CampaignOutcome {
@@ -111,6 +117,10 @@ struct CampaignOutcome {
   /// artifact: the worker's fate plus how many points it handed back.
   /// Re-dispatch recovers these; the log says why they happened.
   std::vector<std::string> task_failures;
+  /// Binary trace shards harvested from finished tasks (trace_tasks on),
+  /// in harvest order.  The caller merges them (trace/export.h) before
+  /// the scratch directory is removed.
+  std::vector<std::string> trace_shards;
 };
 
 CampaignOutcome run_campaign(const std::vector<SweepPoint>& points,

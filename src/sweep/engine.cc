@@ -18,8 +18,11 @@
 #include <stdexcept>
 #include <thread>
 
+#include "common/log.h"
 #include "common/rng.h"
 #include "sweep/result_store.h"
+#include "trace/metrics.h"
+#include "trace/trace.h"
 
 namespace unimem::sweep {
 
@@ -72,7 +75,13 @@ SweepOutcome SweepEngine::run(const std::vector<SweepPoint>& points) {
     return exp::run_once(p.cfg);
   };
 
+  std::atomic<int> worker_seq{0};
   auto worker = [&] {
+    if (trace::on()) {
+      // Sort behind the rank tracks of whatever world is in flight.
+      const int w = worker_seq.fetch_add(1);
+      trace::set_thread_track("sweep-worker " + std::to_string(w), 200 + w);
+    }
     for (;;) {
       const std::size_t i = next.fetch_add(1);
       if (i >= points.size()) return;
@@ -99,6 +108,10 @@ SweepOutcome SweepEngine::run(const std::vector<SweepPoint>& points) {
       // no memory of earlier attempts — a retried success is bitwise
       // identical to a first-try success, preserving golden determinism.
       for (int attempt = 0;; ++attempt) {
+        UNIMEM_TRACE_BEGIN2("sweep", "point", -1.0, "index", p.index,
+                            "attempt",
+                            static_cast<std::uint64_t>(
+                                opts_.attempt_base + attempt));
         row.ok = false;
         row.error.clear();
         row.result = exp::RunResult{};
@@ -129,8 +142,17 @@ SweepOutcome SweepEngine::run(const std::vector<SweepPoint>& points) {
         } catch (...) {
           row.error = "unknown error";
         }
+        UNIMEM_TRACE_END1("sweep", "point", -1.0, "ok", row.ok ? 1 : 0);
+        // Hand finished events (including those of the world's now-dead
+        // rank threads) to the recorder so ring memory is bounded by the
+        // threads of one point, not the whole sweep.
+        if (trace::on()) trace::TraceRecorder::instance().flush();
         if (row.ok || attempt >= opts_.max_point_retries) break;
         point_retries.fetch_add(1);
+        UNIMEM_TRACE_INSTANT2("sweep", "retry", -1.0, "index", p.index,
+                              "attempt",
+                              static_cast<std::uint64_t>(
+                                  opts_.attempt_base + attempt + 1));
         const double delay =
             opts_.backoff.delay_s(p.index, opts_.attempt_base + attempt + 1);
         if (delay > 0)
@@ -173,6 +195,16 @@ SweepOutcome SweepEngine::run(const std::vector<SweepPoint>& points) {
   out.wall_s = std::chrono::duration<double>(std::chrono::steady_clock::now() -
                                              t0)
                    .count();
+
+  // Publish engine tallies into the global registry (additive across
+  // engine runs in one process, e.g. the tasks of an inproc campaign).
+  auto& reg = trace::MetricsRegistry::global();
+  reg.counter("sweep.points_ok")->add(out.rows.size() - out.failed);
+  reg.counter("sweep.points_failed")->add(out.failed);
+  reg.counter("sweep.point_retries")->add(out.retries);
+  reg.counter("sweep.worlds_executed")->add(out.worlds_executed);
+  reg.counter("sweep.baseline_requests")->add(out.baseline_requests);
+  reg.counter("sweep.baseline_computed")->add(out.baseline_computed);
   return out;
 }
 
@@ -205,7 +237,7 @@ std::string shard_path(const std::string& dir, int shard, const char* ext) {
                  out.jobs_used, out.retries);
     std::fclose(f);
   } catch (const std::exception& e) {
-    std::fprintf(stderr, "sweep shard %d: %s\n", shard, e.what());
+    Log::error("sweep shard %d: %s", shard, e.what());
     std::fflush(stderr);
     _exit(3);
   }

@@ -8,12 +8,22 @@
 #include <cstring>
 #include <stdexcept>
 
+#include "common/log.h"
 #include "sweep/result_store.h"
+#include "trace/export.h"
+#include "trace/trace.h"
 
 namespace unimem::sweep {
 
 SweepOutcome run_task_to_artifact(const LaunchTask& task,
                                   BaselineService* baselines) {
+  // Per-task trace shard: restart the recorder so a fork child sheds any
+  // state inherited from the coordinator's recorder, then spill a binary
+  // shard next to the artifact for the coordinator to stitch.  Only
+  // process-backed launchers set task.trace — an in-process task emits
+  // into the shared recorder directly.
+  if (!task.trace.empty()) trace::TraceRecorder::instance().start(task.trace_buf);
+
   SweepResultStore store;
   store.stream_jsonl(task.artifact);
   EngineOptions eopts = task.engine;
@@ -22,6 +32,14 @@ SweepOutcome run_task_to_artifact(const LaunchTask& task,
   SweepEngine engine(eopts, baselines);
   const SweepOutcome out = engine.run(task.points);
   store.finish();
+
+  if (!task.trace.empty()) {
+    trace::TraceData data = trace::TraceRecorder::instance().stop();
+    if (!trace::write_binary(data, task.trace))
+      Log::warn("sweep task %llu: cannot write trace shard %s",
+                static_cast<unsigned long long>(task.task_id),
+                task.trace.c_str());
+  }
 
   const std::string meta = task.artifact + ".meta";
   std::FILE* f = std::fopen(meta.c_str(), "w");
@@ -124,8 +142,8 @@ pid_t ForkLauncher::spawn(const LaunchTask& task) {
     try {
       run_task_to_artifact(task);
     } catch (const std::exception& e) {
-      std::fprintf(stderr, "sweep task %llu: %s\n",
-                   static_cast<unsigned long long>(task.task_id), e.what());
+      Log::error("sweep task %llu: %s",
+                 static_cast<unsigned long long>(task.task_id), e.what());
       std::fflush(stderr);
       _exit(3);
     }
@@ -155,9 +173,9 @@ pid_t CommandLauncher::spawn(const LaunchTask& task) {
   if (pid < 0) throw std::runtime_error("CommandLauncher: fork failed");
   if (pid == 0) {
     execvp(cargv[0], cargv.data());
-    std::fprintf(stderr, "sweep task %llu: exec %s: %s\n",
-                 static_cast<unsigned long long>(task.task_id), cargv[0],
-                 std::strerror(errno));
+    Log::error("sweep task %llu: exec %s: %s",
+               static_cast<unsigned long long>(task.task_id), cargv[0],
+               std::strerror(errno));
     std::fflush(stderr);
     _exit(127);
   }

@@ -58,6 +58,11 @@ struct LaunchTask {
   std::vector<SweepPoint> points;
   std::string artifact;  ///< JSONL path the task streams rows to
   EngineOptions engine;  ///< per-task engine options (on_result is ignored)
+  /// Non-empty: the task restarts the trace recorder around its body and
+  /// spills a binary trace shard at this path (process-backed launchers
+  /// only; in-process tasks share the coordinator's recorder).
+  std::string trace;
+  std::size_t trace_buf = 0;  ///< ring slots per thread; 0 = default
 };
 
 /// Launcher-level verdict for one finished task.  `ok` means the task

@@ -1,0 +1,156 @@
+#include "trace/metrics.h"
+
+#include <cmath>
+#include <cstdio>
+
+namespace unimem::trace {
+
+namespace {
+
+// Relaxed atomic-double accumulate; contention is end-of-run scale, not
+// hot-path scale, so a CAS loop is fine.
+void atomic_add(std::atomic<double>* a, double v) {
+  double cur = a->load(std::memory_order_relaxed);
+  while (!a->compare_exchange_weak(cur, cur + v, std::memory_order_relaxed)) {
+  }
+}
+
+void atomic_min(std::atomic<double>* a, double v) {
+  double cur = a->load(std::memory_order_relaxed);
+  while (v < cur &&
+         !a->compare_exchange_weak(cur, v, std::memory_order_relaxed)) {
+  }
+}
+
+void atomic_max(std::atomic<double>* a, double v) {
+  double cur = a->load(std::memory_order_relaxed);
+  while (v > cur &&
+         !a->compare_exchange_weak(cur, v, std::memory_order_relaxed)) {
+  }
+}
+
+std::string json_number(double v) {
+  if (!std::isfinite(v)) return "0";
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.17g", v);
+  return buf;
+}
+
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    if (c == '"' || c == '\\') out += '\\';
+    if (static_cast<unsigned char>(c) < 0x20) {
+      char buf[8];
+      std::snprintf(buf, sizeof buf, "\\u%04x", c);
+      out += buf;
+      continue;
+    }
+    out += c;
+  }
+  return out;
+}
+
+}  // namespace
+
+void Histogram::observe(double sample) {
+  if (!(sample >= 0.0)) sample = 0.0;  // NaN / negative clamp
+  int b = 0;
+  if (sample >= 1.0) {
+    b = static_cast<int>(std::ceil(std::log2(sample + 1e-12))) + 1;
+    if (b >= kBuckets) b = kBuckets - 1;
+    if (b < 1) b = 1;
+  }
+  buckets_[b].fetch_add(1, std::memory_order_relaxed);
+  const std::uint64_t prev = count_.fetch_add(1, std::memory_order_relaxed);
+  atomic_add(&sum_, sample);
+  if (prev == 0) {
+    // First observation seeds min/max (0-inits would poison min).
+    min_.store(sample, std::memory_order_relaxed);
+    max_.store(sample, std::memory_order_relaxed);
+  } else {
+    atomic_min(&min_, sample);
+    atomic_max(&max_, sample);
+  }
+}
+
+std::string MetricsSnapshot::to_json() const {
+  std::string out = "{\"counters\":{";
+  bool first = true;
+  for (const auto& [k, v] : counters) {
+    if (!first) out += ",";
+    first = false;
+    out += "\"" + json_escape(k) + "\":" + std::to_string(v);
+  }
+  out += "},\"gauges\":{";
+  first = true;
+  for (const auto& [k, v] : gauges) {
+    if (!first) out += ",";
+    first = false;
+    out += "\"" + json_escape(k) + "\":" + json_number(v);
+  }
+  out += "},\"histograms\":{";
+  first = true;
+  for (const auto& [k, h] : histograms) {
+    if (!first) out += ",";
+    first = false;
+    out += "\"" + json_escape(k) + "\":{\"count\":" + std::to_string(h.count) +
+           ",\"sum\":" + json_number(h.sum) +
+           ",\"min\":" + json_number(h.min) +
+           ",\"max\":" + json_number(h.max) + "}";
+  }
+  out += "}}";
+  return out;
+}
+
+MetricsRegistry& MetricsRegistry::global() {
+  static MetricsRegistry* reg = new MetricsRegistry();  // leaked on purpose
+  return *reg;
+}
+
+Counter* MetricsRegistry::counter(const std::string& name) {
+  std::lock_guard<std::mutex> lk(mu_);
+  auto& slot = counters_[name];
+  if (slot == nullptr) slot = std::make_unique<Counter>();
+  return slot.get();
+}
+
+Gauge* MetricsRegistry::gauge(const std::string& name) {
+  std::lock_guard<std::mutex> lk(mu_);
+  auto& slot = gauges_[name];
+  if (slot == nullptr) slot = std::make_unique<Gauge>();
+  return slot.get();
+}
+
+Histogram* MetricsRegistry::histogram(const std::string& name) {
+  std::lock_guard<std::mutex> lk(mu_);
+  auto& slot = histograms_[name];
+  if (slot == nullptr) slot = std::make_unique<Histogram>();
+  return slot.get();
+}
+
+MetricsSnapshot MetricsRegistry::snapshot() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  MetricsSnapshot snap;
+  for (const auto& [k, c] : counters_) snap.counters[k] = c->value();
+  for (const auto& [k, g] : gauges_) snap.gauges[k] = g->value();
+  for (const auto& [k, h] : histograms_) {
+    MetricsSnapshot::Hist row;
+    row.count = h->count();
+    row.sum = h->sum();
+    row.min = h->min();
+    row.max = h->max();
+    snap.histograms[k] = row;
+  }
+  return snap;
+}
+
+void MetricsRegistry::reset() {
+  std::lock_guard<std::mutex> lk(mu_);
+  counters_.clear();
+  gauges_.clear();
+  histograms_.clear();
+}
+
+}  // namespace unimem::trace

@@ -44,6 +44,7 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <ctime>
 #include <exception>
 #include <filesystem>
 #include <map>
@@ -53,14 +54,50 @@
 #include <thread>
 #include <vector>
 
+#include "common/log.h"
 #include "common/rng.h"
 #include "sweep/coordinator.h"
 #include "sweep/engine.h"
 #include "sweep/launcher.h"
 #include "sweep/result_store.h"
 #include "sweep/spec.h"
+#include "trace/export.h"
+#include "trace/metrics.h"
+#include "trace/trace.h"
 
 namespace {
+
+/// Version of the --summary-json document layout (see README "Summary
+/// JSON schema").  Bump when fields change meaning or go away; adding
+/// fields is compatible and does not bump.
+constexpr int kSummarySchemaVersion = 2;
+
+std::string iso8601_utc_now() {
+  const std::time_t now = std::time(nullptr);
+  std::tm tm{};
+  gmtime_r(&now, &tm);
+  char buf[32];
+  std::strftime(buf, sizeof buf, "%Y-%m-%dT%H:%M:%SZ", &tm);
+  return buf;
+}
+
+/// The schema_version/finished_at/metrics tail shared by every final
+/// summary writer (the live service summary carries schema_version only —
+/// the campaign has not finished and metrics are still accumulating).
+std::string summary_tail() {
+  return ",\"finished_at\":\"" + iso8601_utc_now() + "\",\"metrics\":" +
+         unimem::trace::MetricsRegistry::global().snapshot().to_json();
+}
+
+/// Export by extension: .json = Chrome trace-event (Perfetto-loadable),
+/// anything else = the compact binary spill format.
+bool export_trace(unimem::trace::TraceData data, const std::string& path) {
+  unimem::trace::sort_events(&data);
+  const bool json =
+      path.size() >= 5 && path.compare(path.size() - 5, 5, ".json") == 0;
+  return json ? unimem::trace::write_chrome_json(data, path)
+              : unimem::trace::write_binary(data, path);
+}
 
 void usage(std::FILE* out) {
   std::fputs(
@@ -93,6 +130,11 @@ void usage(std::FILE* out) {
       "  --steal              work-steal chunks between coordinator workers\n"
       "  --resume             skip points already ok in the --jsonl artifact\n"
       "                       (tolerates a torn last line from a crash)\n"
+      "  --trace PATH         record a span trace of the run; .json writes\n"
+      "                       Chrome/Perfetto trace-event JSON, anything else\n"
+      "                       the compact binary format (see unimem_trace)\n"
+      "  --trace-buf N        per-thread trace ring capacity in events\n"
+      "                       (default 16384; overflow drops, never blocks)\n"
       "  --smoke              clamp to smoke scale (same as UNIMEM_BENCH_SMOKE=1)\n"
       "  --quiet              suppress the stdout table\n"
       "\n"
@@ -149,6 +191,8 @@ struct Args {
   std::string csv, jsonl, summary_json;
   std::string launcher;   ///< "" = engine mode; inproc|fork|cmd[:PREFIX]
   std::string task_meta;  ///< --task-meta sidecar path ("" = none)
+  std::string trace;      ///< --trace output path ("" = tracing off)
+  unsigned long long trace_buf = 0;  ///< --trace-buf (0 = default ring)
   std::vector<std::string> merge_inputs;
   std::vector<std::size_t> indices;  ///< --indices selection ("" = all)
   bool have_indices = false;
@@ -229,6 +273,18 @@ bool parse(int argc, char** argv, Args& a) {
       const char* v = value("--task-meta");
       if (v == nullptr) return false;
       a.task_meta = v;
+    } else if (arg == "--trace") {
+      const char* v = value("--trace");
+      if (v == nullptr) return false;
+      a.trace = v;
+    } else if (arg == "--trace-buf") {
+      const char* v = value("--trace-buf");
+      if (v == nullptr) return false;
+      if (!parse_u64(v, 1, 1ull << 30, &a.trace_buf)) {
+        std::fprintf(stderr, "unimem_sweep: --trace-buf wants events in "
+                     "[1, 2^30] (got '%s')\n", v);
+        return false;
+      }
     } else if (arg == "--launcher") {
       const char* v = value("--launcher");
       if (v == nullptr) return false;
@@ -561,10 +617,19 @@ int run_cli(int argc, char** argv) {
     std::size_t dropped = 0;
     resume_rows = sweep::read_jsonl_tolerant(a.jsonl, &dropped);
     if (dropped != 0)
-      std::fprintf(stderr,
-                   "unimem_sweep: note: dropped a torn trailing line from %s "
-                   "(previous writer died mid-write); its point re-runs\n",
-                   a.jsonl.c_str());
+      Log::warn(
+          "dropped a torn trailing line from %s (previous writer died "
+          "mid-write); its point re-runs",
+          a.jsonl.c_str());
+  }
+
+  if (!a.trace.empty()) {
+    if (a.fork_shards > 0)
+      Log::warn(
+          "--trace with --shards records only the parent process; use "
+          "--launcher fork to capture per-task trace shards");
+    trace::TraceRecorder::instance().start(
+        static_cast<std::size_t>(a.trace_buf));
   }
 
   sweep::SweepResultStore store;
@@ -666,6 +731,16 @@ int run_cli(int argc, char** argv) {
           v.push_back("--attempt-base");
           v.push_back(std::to_string(t.attempt_base));
         }
+        if (!t.trace.empty()) {
+          // Binary shard spilled next to the artifact; the coordinator
+          // harvests and the parent stitches it into the campaign trace.
+          v.push_back("--trace");
+          v.push_back(t.trace);
+          if (t.trace_buf > 0) {
+            v.push_back("--trace-buf");
+            v.push_back(std::to_string(t.trace_buf));
+          }
+        }
         std::string idx;
         for (const sweep::SweepPoint& p : t.points) {
           if (!idx.empty()) idx += ',';
@@ -689,6 +764,10 @@ int run_cli(int argc, char** argv) {
     copts.steal = a.steal;
     copts.engine = eopts;
     copts.scratch_dir = scratch;
+    // In-process tasks emit straight into this process's recorder; the
+    // process launchers need per-task shards to see inside the children.
+    copts.trace_tasks = !a.trace.empty() && a.launcher != "inproc";
+    copts.trace_buf = static_cast<std::size_t>(a.trace_buf);
     copts.resume_rows = std::move(resume_rows);
     copts.on_final_row = [&](const sweep::SweepRow& row) { store.add(row); };
     // Live summary: rewrite-and-rename after every task, so a watcher
@@ -700,14 +779,15 @@ int run_cli(int argc, char** argv) {
       if (f == nullptr) return;
       std::fprintf(
           f,
-          "{\"spec\":\"%s\",\"points\":%zu,\"done\":%zu,\"failed\":%zu,"
+          "{\"schema_version\":%d,\"spec\":\"%s\",\"points\":%zu,"
+          "\"done\":%zu,\"failed\":%zu,"
           "\"resumed\":%zu,\"retries\":%zu,\"steals\":%zu,\"tasks\":%zu,"
           "\"task_retries\":%zu,\"workers\":%d,\"launcher\":\"%s\","
           "\"steal\":%s,\"complete\":%s,\"host_cpus\":%u}\n",
-          a.spec.c_str(), p.total, p.done, p.failed, p.resumed, p.retries,
-          p.steals, p.tasks, p.task_retries, workers, launcher->name(),
-          a.steal ? "true" : "false", p.complete ? "true" : "false",
-          std::thread::hardware_concurrency());
+          kSummarySchemaVersion, a.spec.c_str(), p.total, p.done, p.failed,
+          p.resumed, p.retries, p.steals, p.tasks, p.task_retries, workers,
+          launcher->name(), a.steal ? "true" : "false",
+          p.complete ? "true" : "false", std::thread::hardware_concurrency());
       std::fclose(f);
       std::rename(tmp.c_str(), a.summary_json.c_str());
     };
@@ -718,6 +798,26 @@ int run_cli(int argc, char** argv) {
     } catch (...) {
       fs::remove_all(scratch);
       throw;
+    }
+    if (!a.trace.empty()) {
+      // Stitch the coordinator's own events with every harvested task
+      // shard (they live in scratch, so merge before removal).  Each
+      // task's tracks get a "task-N/" prefix so per-worker rank threads
+      // stay distinguishable in the stitched timeline.
+      trace::TraceData merged = trace::TraceRecorder::instance().stop();
+      for (const std::string& shard : outcome.trace_shards) {
+        trace::TraceData sd;
+        if (!trace::read_binary(shard, &sd)) {
+          Log::warn("skipping unreadable trace shard %s", shard.c_str());
+          continue;
+        }
+        std::string task = fs::path(shard).filename().string();
+        const std::size_t dot = task.find('.');
+        if (dot != std::string::npos) task.resize(dot);
+        trace::merge_into(&merged, sd, task + "/");
+      }
+      if (!export_trace(std::move(merged), a.trace))
+        Log::warn("cannot write trace %s", a.trace.c_str());
     }
     fs::remove_all(scratch);
     store.finish();
@@ -747,18 +847,21 @@ int run_cli(int argc, char** argv) {
       }
       std::fprintf(
           f,
-          "{\"spec\":\"%s\",\"points\":%zu,\"done\":%zu,\"failed\":%zu,"
+          "{\"schema_version\":%d,\"spec\":\"%s\",\"points\":%zu,"
+          "\"done\":%zu,\"failed\":%zu,"
           "\"resumed\":%zu,\"retries\":%zu,\"steals\":%zu,\"tasks\":%zu,"
           "\"task_retries\":%zu,\"workers\":%d,\"launcher\":\"%s\","
           "\"steal\":%s,\"complete\":true,\"jobs\":%d,\"wall_s\":%.6f,"
           "\"worlds_executed\":%zu,\"baseline_requests\":%zu,"
-          "\"baseline_computed\":%zu,\"host_cpus\":%u}\n",
-          a.spec.c_str(), outcome.rows.size(), outcome.rows.size(),
-          outcome.failed, outcome.resumed, outcome.retries, outcome.steals,
-          outcome.tasks, outcome.task_retries, outcome.workers,
-          launcher->name(), a.steal ? "true" : "false", outcome.jobs_used,
-          outcome.wall_s, outcome.worlds_executed, outcome.baseline_requests,
-          outcome.baseline_computed, std::thread::hardware_concurrency());
+          "\"baseline_computed\":%zu,\"host_cpus\":%u%s}\n",
+          kSummarySchemaVersion, a.spec.c_str(), outcome.rows.size(),
+          outcome.rows.size(), outcome.failed, outcome.resumed,
+          outcome.retries, outcome.steals, outcome.tasks,
+          outcome.task_retries, outcome.workers, launcher->name(),
+          a.steal ? "true" : "false", outcome.jobs_used, outcome.wall_s,
+          outcome.worlds_executed, outcome.baseline_requests,
+          outcome.baseline_computed, std::thread::hardware_concurrency(),
+          summary_tail().c_str());
       std::fclose(f);
     }
     return outcome.failed == 0 ? 0 : 2;
@@ -825,6 +928,10 @@ int run_cli(int argc, char** argv) {
   }
   store.finish();
 
+  if (!a.trace.empty() &&
+      !export_trace(trace::TraceRecorder::instance().stop(), a.trace))
+    Log::warn("cannot write trace %s", a.trace.c_str());
+
   if (!a.task_meta.empty()) {
     // Engine counter sidecar (same format as shard/task metas), so a
     // coordinator that launched this invocation via the cmd launcher can
@@ -863,14 +970,16 @@ int run_cli(int argc, char** argv) {
     }
     std::fprintf(
         f,
-        "{\"spec\":\"%s\",\"points\":%zu,\"failed\":%zu,\"jobs\":%d,"
+        "{\"schema_version\":%d,\"spec\":\"%s\",\"points\":%zu,"
+        "\"failed\":%zu,\"jobs\":%d,"
         "\"shards\":%d,\"retries\":%zu,\"resumed\":%zu,"
         "\"wall_s\":%.6f,\"worlds_executed\":%zu,\"baseline_requests\":%zu,"
-        "\"baseline_computed\":%zu,\"host_cpus\":%u}\n",
-        a.spec.c_str(), total_points, outcome.failed, outcome.jobs_used,
-        outcome.shards, outcome.retries, resumed, outcome.wall_s,
-        outcome.worlds_executed, outcome.baseline_requests,
-        outcome.baseline_computed, std::thread::hardware_concurrency());
+        "\"baseline_computed\":%zu,\"host_cpus\":%u%s}\n",
+        kSummarySchemaVersion, a.spec.c_str(), total_points, outcome.failed,
+        outcome.jobs_used, outcome.shards, outcome.retries, resumed,
+        outcome.wall_s, outcome.worlds_executed, outcome.baseline_requests,
+        outcome.baseline_computed, std::thread::hardware_concurrency(),
+        summary_tail().c_str());
     std::fclose(f);
   }
   return outcome.failed == 0 ? 0 : 2;
