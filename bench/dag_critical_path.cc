@@ -1,0 +1,54 @@
+// Phase-DAG critical-path planning: slack-scheduled migration triggers vs
+// the classic JIT trigger walk (dag_schedule=slack vs off) on nek/lu at
+// tight DRAM allowances.  For each (workload, dram) cell the table reports
+// the virtual time of both modes, the exposed (critical-path) migration
+// time of both, the fraction of copy time slack mode hides, and the
+// critical-path length of the last phase DAG.
+// Expected shape: slack's exposed time is strictly lower than off's on the
+// tight-DRAM cells, with >= 50% of the copy time hidden on at least one.
+//
+// Batch on the sweep engine over the shared "dag_slack" SweepSpec
+// (unnormalized — the split lives in the in-memory RunResult fields).
+#include "sweep_bench_common.h"
+
+int main() {
+  using namespace unimem;
+  const sweep::SweepSpec spec = bench::resolve_spec("dag_slack");
+  const sweep::SweepOutcome outcome = bench::run_spec(spec);
+
+  exp::Report rep(
+      "Phase-DAG slack scheduling: hidden vs exposed migration time");
+  rep.set_header({"workload", "dram", "time off (s)", "time slack (s)",
+                  "exposed off (s)", "exposed slack (s)", "hidden frac",
+                  "crit path (s)"});
+  for (const std::string& w : spec.workloads) {
+    for (std::size_t dram : spec.dram_capacities) {
+      std::map<std::string, std::string> off_key{{"workload", w},
+                                                 {"dag", "off"}};
+      std::map<std::string, std::string> slack_key{{"workload", w},
+                                                   {"dag", "slack"}};
+      std::string dram_label = std::to_string(dram / kMiB) + "MiB";
+      if (spec.dram_capacities.size() > 1) {
+        off_key["dram"] = dram_label;
+        slack_key["dram"] = dram_label;
+      }
+      const sweep::SweepRow* off = bench::ok_row(outcome, off_key);
+      const sweep::SweepRow* slack = bench::ok_row(outcome, slack_key);
+      if (off == nullptr || slack == nullptr) {
+        rep.add_row({w, dram_label, "n/a", "n/a", "n/a", "n/a", "n/a",
+                     "n/a"});
+        continue;
+      }
+      const double copy = slack->result.total_copy_s;
+      const double hidden = copy - slack->result.total_exposed_s;
+      rep.add_row({w, dram_label, exp::Report::num(off->result.time_s, 4),
+                   exp::Report::num(slack->result.time_s, 4),
+                   exp::Report::num(off->result.total_exposed_s, 4),
+                   exp::Report::num(slack->result.total_exposed_s, 4),
+                   copy > 0 ? exp::Report::num(hidden / copy, 2) : "n/a",
+                   exp::Report::num(slack->result.dag_critical_path_s, 4)});
+    }
+  }
+  rep.print();
+  return bench::exit_code(outcome);
+}

@@ -52,6 +52,16 @@ struct MigrationStats {
     if (copy_time_s <= 0) return 100.0;
     return 100.0 * (1.0 - std::min(1.0, exposed_wait_s / copy_time_s));
   }
+  /// Copy time on the critical path (waits can stack past the raw copy
+  /// time when one stall covers several queued units, hence the clamp) —
+  /// and its complement, the part hidden behind computation.  By
+  /// construction exposed + hidden == copy_time_s.
+  double exposed_migration_s() const {
+    return std::min(exposed_wait_s, copy_time_s);
+  }
+  double hidden_migration_s() const {
+    return copy_time_s - exposed_migration_s();
+  }
 };
 
 class MigrationEngine {

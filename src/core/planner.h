@@ -25,6 +25,8 @@
 
 namespace unimem::rt {
 
+class PhaseDag;
+
 struct PlannedMigration {
   UnitRef unit;
   mem::Tier to = mem::Tier::kDram;
@@ -51,6 +53,12 @@ struct Plan {
     for (const auto& v : at_phase) n += v.size();
     return n;
   }
+
+  /// Slack-scheduling tallies (PlannerOptions::dag != nullptr; else zero):
+  /// triggers parked in an off-critical-path phase whose slack covered the
+  /// copy vs. fills that fell back to the earliest legal trigger.
+  std::size_t slack_scheduled = 0;
+  std::size_t fallback_triggers = 0;
 };
 
 struct PlannerOptions {
@@ -63,6 +71,11 @@ struct PlannerOptions {
   bool chunking = true;
   /// DRAM bytes this rank may plan with (its share of the node allowance).
   std::size_t dram_budget = 0;
+  /// Computed phase DAG for slack-scheduled triggers (dag_schedule=slack);
+  /// nullptr keeps the classic JIT trigger walk byte-identical.
+  const PhaseDag* dag = nullptr;
+  /// This rank's id in the DAG (slack/critical lookups).
+  int rank = 0;
 };
 
 class Planner {
@@ -104,6 +117,34 @@ class Planner {
                         const std::vector<double>& phase_times,
                         std::size_t phase, std::size_t g,
                         std::size_t* trigger) const;
+
+  /// Slack-mode trigger chooser (opts_.dag set): walk candidates from the
+  /// latest phase before `needed` back to `earliest` and pick the first
+  /// (= latest) off-critical-path phase whose accumulated window and DAG
+  /// slack both cover `copy_s`.  Falls back to `earliest` with the full
+  /// window — maximal overlap — when no phase qualifies.  Returns the
+  /// trigger, stores the trigger->needed window in *window, and reports
+  /// whether slack (vs fallback) won in *scheduled.
+  std::size_t slack_trigger(const std::vector<double>& phase_times,
+                            std::size_t needed, std::size_t earliest,
+                            double copy_s, double* window,
+                            bool* scheduled) const;
+
+  /// Slack-mode trigger chooser for a global plan's one-time fill.  Unlike
+  /// the per-iteration rotation case, a one-time NVM->DRAM fill is legal in
+  /// ANY phase that does not reference the group: phases before the copy
+  /// lands simply keep reading NVM, and a referencing phase blocks on
+  /// in-flight copies before touching the data.  So the whole cycle is
+  /// searchable — enumerate the maximal cyclic runs of non-referencing
+  /// phases and ride the one that hides the most copy time, preferring a
+  /// DAG-endorsed (off-critical, slack-covered) run.  Returns the trigger;
+  /// stores the phase the fill must beat in *needed, the overlap window in
+  /// *window, and whether DAG slack endorsed the spot in *scheduled.
+  std::size_t global_slack_trigger(const GroupProfiles& gp,
+                                   const std::vector<double>& phase_times,
+                                   std::size_t g, std::size_t first_ref,
+                                   double copy_s, std::size_t* needed,
+                                   double* window, bool* scheduled) const;
 
   bool group_in_dram(const Group& g) const;
 

@@ -164,6 +164,10 @@ RunResult run_once(const RunConfig& cfg) {
   for (const rt::RuntimeStats& s : pass.stats) {
     out.total_migrations += s.migration.migrations;
     out.total_bytes_moved += s.migration.bytes_moved;
+    out.total_copy_s += s.migration.copy_time_s;
+    out.total_exposed_s += s.migration.exposed_migration_s();
+    out.dag_critical_path_s =
+        std::max(out.dag_critical_path_s, s.dag_critical_path_s);
     if (s.total_time_s > 0) {
       overhead += s.overhead_percent();
       overlap += s.migration.overlap_percent();
@@ -192,6 +196,10 @@ RunResult run_once(const RunConfig& cfg) {
   reg.counter("runtime.full_replans")->add(solves);
   reg.counter("runtime.reprofiles")->add(reprofiles);
   reg.histogram("runtime.world_time_s")->observe(out.time_s);
+  reg.histogram("runtime.migration_copy_s")->observe(out.total_copy_s);
+  reg.histogram("runtime.migration_exposed_s")->observe(out.total_exposed_s);
+  reg.histogram("runtime.migration_hidden_s")
+      ->observe(out.total_copy_s - out.total_exposed_s);
   return out;
 }
 

@@ -55,6 +55,14 @@ struct RunResult {
   std::uint64_t total_bytes_moved = 0;
   double mean_overhead_percent = 0;
   double mean_overlap_percent = 0;
+  /// Migration time split across all ranks (seconds of modeled copy time
+  /// and the part of it exposed on the critical path).  In-memory only —
+  /// not serialized into sweep CSV/JSONL rows, which stay byte-stable.
+  double total_copy_s = 0;
+  double total_exposed_s = 0;
+  /// Longest weighted path through the last phase DAG (dag_schedule=slack
+  /// only; max over ranks, 0 otherwise).
+  double dag_critical_path_s = 0;
 };
 
 /// Run one configuration to completion.  For Policy::kXMen this runs the

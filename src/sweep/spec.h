@@ -43,7 +43,8 @@ struct SweepPoint {
   std::size_t index = 0;       ///< position in expansion order (stable)
   std::string label;           ///< "cg/nvm-only/bw0.50/lat1.0/dram8MiB"
   /// Axis values by name ("workload", "policy", "bw", "lat", "dram",
-  /// "rpn", "tech", "prof") — the pivot keys for table-shaped consumers.
+  /// "rpn", "tech", "prof", "dag") — the pivot keys for table-shaped
+  /// consumers.
   std::map<std::string, std::string> axis;
   exp::RunConfig cfg;
   /// Divide time by the memoized DRAM-only baseline of the same
@@ -67,6 +68,10 @@ struct SweepSpec {
   /// with base period N (rt::RuntimeOptions::sample_period_mult).  Only
   /// kUnimem points are sensitive; static policies never profile.
   std::vector<std::uint64_t> profiler_periods{0};
+  /// Phase-DAG scheduling axis (rt::RuntimeOptions::dag_schedule): kOff =
+  /// classic JIT triggers, kSlack = critical-path slack-scheduled
+  /// triggers.  Only kUnimem points are sensitive.
+  std::vector<rt::DagSchedule> dag_schedules{rt::DagSchedule::kOff};
 
   // ---- shared scalars --------------------------------------------------
   char cls = 'C';

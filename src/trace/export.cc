@@ -335,6 +335,7 @@ std::vector<TraceSummaryRow> summarize(const TraceData& data) {
     std::uint64_t count = 0;
     double wall_total_s = 0.0;
     double vt_total_s = 0.0;
+    std::uint64_t truncated = 0;
   };
   // (cat idx, name idx) -> accumulator; per-track stacks match B/E pairs.
   std::map<std::pair<std::uint32_t, std::uint32_t>, Acc> acc;
@@ -355,7 +356,9 @@ std::vector<TraceSummaryRow> summarize(const TraceData& data) {
       case 'E': {
         auto& stack = open[e.track];
         // Unwind to the matching begin; tolerate torn traces where the
-        // open was dropped by ring overflow.
+        // open was dropped by ring overflow.  Each non-matching BEGIN the
+        // unwind discards is a span whose END never arrived — count it as
+        // truncated under its own (cat, name) instead of losing it.
         while (!stack.empty()) {
           const TraceEventRow b = stack.back();
           stack.pop_back();
@@ -367,6 +370,7 @@ std::vector<TraceSummaryRow> summarize(const TraceData& data) {
             if (b.vt >= 0.0 && e.vt >= 0.0) a.vt_total_s += e.vt - b.vt;
             break;
           }
+          ++acc[std::make_pair(b.cat, b.name)].truncated;
         }
         break;
       }
@@ -379,6 +383,13 @@ std::vector<TraceSummaryRow> summarize(const TraceData& data) {
     }
   }
 
+  // Whatever is still open after the last event is torn too: the writer
+  // never emitted the END (crash mid-span, or the final span of a spill
+  // cut off at the iteration the trace stopped).
+  for (const auto& kv : open)
+    for (const TraceEventRow& b : kv.second)
+      ++acc[std::make_pair(b.cat, b.name)].truncated;
+
   std::vector<TraceSummaryRow> rows;
   rows.reserve(acc.size());
   for (const auto& [key, a] : acc) {
@@ -388,6 +399,7 @@ std::vector<TraceSummaryRow> summarize(const TraceData& data) {
     r.count = a.count;
     r.wall_total_s = a.wall_total_s;
     r.vt_total_s = a.vt_total_s;
+    r.truncated = a.truncated;
     rows.push_back(std::move(r));
   }
   std::sort(rows.begin(), rows.end(),

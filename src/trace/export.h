@@ -97,6 +97,10 @@ struct TraceSummaryRow {
   std::uint64_t count = 0;
   double wall_total_s = 0.0;  ///< summed span durations (wall clock)
   double vt_total_s = 0.0;    ///< summed span durations (virtual clock)
+  /// Torn spans: BEGINs whose END never arrived (writer died mid-span or
+  /// the ring dropped the END).  Their durations are unknowable, so they
+  /// are excluded from count/totals and tallied here instead.
+  std::uint64_t truncated = 0;
 };
 
 std::vector<TraceSummaryRow> summarize(const TraceData& data);

@@ -327,6 +327,52 @@ TEST(TraceExport, SortAndSummarizeRollUpSpans) {
   EXPECT_EQ(retry.wall_total_s, 0.0);
 }
 
+TEST(TraceExport, SummarizeCountsTornSpansAsTruncated) {
+  // Two torn shapes a killed worker leaves behind: a BEGIN with no END at
+  // the tail of the trace, and a nested BEGIN discarded when an outer END
+  // unwinds past it.  Both must be counted as truncated (and excluded from
+  // count/totals) instead of silently dropped.
+  TraceData d;
+  d.epoch_realtime_ns = 1'000'000;
+  const std::uint32_t track = static_cast<std::uint32_t>(d.tracks.size());
+  d.tracks.push_back({"rank 0", 1});
+  auto ev = [&](const char* name, char phase, std::uint64_t wall, double vt) {
+    TraceEventRow r;
+    r.cat = d.intern("runtime");
+    r.name = d.intern(name);
+    r.vt = vt;
+    r.wall_ns = wall;
+    r.track = track;
+    r.phase = phase;
+    return r;
+  };
+  d.events = {
+      ev("phase", 'B', 100, 0.25),
+      ev("solve", 'B', 150, 0.30),  // discarded by phase's END unwind
+      ev("phase", 'E', 400, 0.75),
+      ev("phase", 'B', 500, 1.00),  // worker killed mid-phase: no END
+  };
+
+  const std::vector<TraceSummaryRow> rows = summarize(d);
+  ASSERT_EQ(rows.size(), 2u);
+  const TraceSummaryRow& phase = rows[0].name == "phase" ? rows[0] : rows[1];
+  const TraceSummaryRow& solve = rows[0].name == "solve" ? rows[0] : rows[1];
+  EXPECT_EQ(phase.name, "phase");
+  EXPECT_EQ(phase.count, 1u);  // only the matched pair rolls up
+  EXPECT_EQ(phase.truncated, 1u);
+  EXPECT_NEAR(phase.wall_total_s, 300e-9, 1e-15);
+  EXPECT_NEAR(phase.vt_total_s, 0.5, 1e-12);
+  EXPECT_EQ(solve.name, "solve");
+  EXPECT_EQ(solve.count, 0u);
+  EXPECT_EQ(solve.truncated, 1u);
+  EXPECT_EQ(solve.wall_total_s, 0.0);
+
+  // A clean trace reports zero truncation.
+  TraceData clean = sample_data();
+  for (const TraceSummaryRow& r : summarize(clean))
+    EXPECT_EQ(r.truncated, 0u) << r.name;
+}
+
 // ---- metrics --------------------------------------------------------------
 
 TEST(Metrics, CountersGaugesHistogramsRoundTrip) {

@@ -121,6 +121,8 @@ void usage(std::FILE* out) {
       "                       (with --spec: verify the merge covers the spec)\n"
       "  --profiler exact|N   override the spec's profiling tier: exact, or\n"
       "                       sampled with base period N (collapses the prof axis)\n"
+      "  --dag off|slack      override the spec's phase-DAG scheduling mode\n"
+      "                       (collapses the dag axis)\n"
       "  --retries N          re-run failed points up to N times with capped\n"
       "                       deterministic exponential backoff\n"
       "  --launcher KIND      service mode: dispatch via a coordinator; KIND is\n"
@@ -188,6 +190,7 @@ struct Args {
   std::string spec;
   std::string filter;
   std::string profiler;  ///< --profiler exact|N ("" = spec default)
+  std::string dag;       ///< --dag off|slack ("" = spec default)
   std::string csv, jsonl, summary_json;
   std::string launcher;   ///< "" = engine mode; inproc|fork|cmd[:PREFIX]
   std::string task_meta;  ///< --task-meta sidecar path ("" = none)
@@ -254,6 +257,16 @@ bool parse(int argc, char** argv, Args& a) {
         std::fprintf(stderr,
                      "unimem_sweep: --profiler wants 'exact' or a period N "
                      ">= 1 (got '%s')\n",
+                     v);
+        return false;
+      }
+    } else if (arg == "--dag") {
+      const char* v = value("--dag");
+      if (v == nullptr) return false;
+      a.dag = v;
+      if (a.dag != "off" && a.dag != "slack") {
+        std::fprintf(stderr,
+                     "unimem_sweep: --dag wants 'off' or 'slack' (got '%s')\n",
                      v);
         return false;
       }
@@ -569,6 +582,11 @@ int run_cli(int argc, char** argv) {
       parse_u64(a.profiler.c_str(), 1, UINT64_MAX, &period);  // parse() vetted
     spec->profiler_periods = {static_cast<std::uint64_t>(period)};
   }
+  if (!a.dag.empty()) {
+    // Collapse the phase-DAG scheduling axis to the requested value.
+    spec->dag_schedules = {a.dag == "slack" ? rt::DagSchedule::kSlack
+                                            : rt::DagSchedule::kOff};
+  }
 
   auto points = spec->expand(a.filter);
   if (points.empty()) {
@@ -707,6 +725,10 @@ int run_cli(int argc, char** argv) {
         if (!args_copy.profiler.empty()) {
           v.push_back("--profiler");
           v.push_back(args_copy.profiler);
+        }
+        if (!args_copy.dag.empty()) {
+          v.push_back("--dag");
+          v.push_back(args_copy.dag);
         }
         v.push_back("--jobs");
         v.push_back(std::to_string(t.engine.jobs));

@@ -3,6 +3,7 @@
 //   unimem_trace run.trace --json run.json        # Perfetto-loadable
 //   unimem_trace a.trace b.trace --json all.json  # merge shards
 //   unimem_trace run.trace --summary              # per-event rollup
+//   unimem_trace run.trace --dag                  # phase critical path
 //   unimem_trace run.trace --filter migration --print
 //   unimem_trace run.trace --filter sweep --binary sweep-only.trace
 //
@@ -14,12 +15,15 @@
 //
 // --filter matches CAT or CAT/NAME as a substring of "cat/name", e.g.
 // "migration" keeps every migration event, "sweep/retry" only retries.
+#include <cstdint>
 #include <cstdio>
 #include <cstring>
+#include <map>
 #include <string>
 #include <utility>
 #include <vector>
 
+#include "core/phase_dag.h"
 #include "trace/export.h"
 
 namespace {
@@ -32,6 +36,8 @@ void usage(std::FILE* out) {
       "  --json PATH     write Chrome trace-event JSON (Perfetto-loadable)\n"
       "  --binary PATH   write the merged/filtered trace as a binary spill\n"
       "  --summary       print a per-category/name rollup table\n"
+      "  --dag           rebuild the phase DAG from runtime/phase spans and\n"
+      "                  print per-rank slack plus the critical-path length\n"
       "  --print         print every event as one line\n"
       "  --filter STR    keep only events whose cat/name contains STR\n",
       out);
@@ -40,7 +46,7 @@ void usage(std::FILE* out) {
 struct Args {
   std::vector<std::string> inputs;
   std::string json_out, binary_out, filter;
-  bool summary = false, print = false;
+  bool summary = false, print = false, dag = false;
 };
 
 bool parse(int argc, char** argv, Args& a) {
@@ -58,6 +64,8 @@ bool parse(int argc, char** argv, Args& a) {
       std::exit(0);
     } else if (arg == "--summary") {
       a.summary = true;
+    } else if (arg == "--dag") {
+      a.dag = true;
     } else if (arg == "--print") {
       a.print = true;
     } else if (arg == "--json") {
@@ -83,7 +91,8 @@ bool parse(int argc, char** argv, Args& a) {
     std::fprintf(stderr, "unimem_trace: no input files\n");
     return false;
   }
-  if (a.json_out.empty() && a.binary_out.empty() && !a.summary && !a.print) {
+  if (a.json_out.empty() && a.binary_out.empty() && !a.summary && !a.print &&
+      !a.dag) {
     a.summary = true;  // bare invocation: the rollup is the useful default
   }
   return true;
@@ -145,16 +154,53 @@ int main(int argc, char** argv) {
   }
 
   if (a.summary) {
-    std::printf("%-32s %10s %14s %14s\n", "event", "count", "wall_total_s",
-                "vt_total_s");
-    for (const auto& row : unimem::trace::summarize(data))
-      std::printf("%-32s %10llu %14.6f %14.6f\n",
+    std::uint64_t truncated_total = 0;
+    std::printf("%-32s %10s %14s %14s %10s\n", "event", "count",
+                "wall_total_s", "vt_total_s", "truncated");
+    for (const auto& row : unimem::trace::summarize(data)) {
+      truncated_total += row.truncated;
+      std::printf("%-32s %10llu %14.6f %14.6f %10llu\n",
                   (row.cat + "/" + row.name).c_str(),
                   static_cast<unsigned long long>(row.count),
-                  row.wall_total_s, row.vt_total_s);
-    std::printf("%zu events on %zu tracks, %llu dropped\n",
+                  row.wall_total_s, row.vt_total_s,
+                  static_cast<unsigned long long>(row.truncated));
+    }
+    std::printf("%zu events on %zu tracks, %llu dropped, %llu truncated "
+                "spans\n",
                 data.events.size(), data.tracks.size(),
-                static_cast<unsigned long long>(data.dropped));
+                static_cast<unsigned long long>(data.dropped),
+                static_cast<unsigned long long>(truncated_total));
+  }
+
+  if (a.dag) {
+    unimem::rt::PhaseDag dag = unimem::rt::PhaseDag::from_trace(data);
+    if (!dag.compute()) {
+      std::fprintf(stderr, "unimem_trace: --dag: no computable phase DAG "
+                   "(trace has no runtime/phase spans?)\n");
+      return 1;
+    }
+    // Per-rank rollup of the node table.
+    std::map<int, std::pair<std::size_t, std::size_t>> per_rank;  // phases, crit
+    double slack_total = 0;
+    for (const auto& n : dag.nodes()) {
+      auto& pr = per_rank[n.rank];
+      ++pr.first;
+      if (n.critical) ++pr.second;
+      slack_total += n.slack_s;
+    }
+    std::printf("%-6s %8s %10s %14s\n", "rank", "phases", "critical",
+                "slack_sum_s");
+    for (const auto& [rank, pr] : per_rank) {
+      double rank_slack = 0;
+      for (const auto& n : dag.nodes())
+        if (n.rank == rank) rank_slack += n.slack_s;
+      std::printf("%-6d %8zu %10zu %14.6f\n", rank, pr.first, pr.second,
+                  rank_slack);
+    }
+    std::printf("%zu nodes, %zu edges, total slack %.6fs, critical path "
+                "%.6fs\n",
+                dag.nodes().size(), dag.edges().size(), slack_total,
+                dag.critical_path_s());
   }
 
   if (!a.json_out.empty() &&
