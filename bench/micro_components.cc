@@ -271,7 +271,11 @@ void BM_ProfilerExactAccessProduction(benchmark::State& state) {
   mem::HeteroMemory hms(mem::HmsConfig::scaled(0.5, 1.0, 16 << 20, 64 << 20));
   rt::Registry reg(&hms, nullptr);
   for (std::size_t i = 0; i < kProfObjects; ++i)
-    reg.create("o" + std::to_string(i), 64 * kKiB, {}, mem::Tier::kNvm);
+    {
+      std::string name = "o";
+      name += std::to_string(i);
+      reg.create(name, 64 * kKiB, {}, mem::Tier::kNvm);
+    }
   const auto addrs = make_miss_stream(reg, kProfEvents);
   perf::PhaseSamples s;
   s.total_samples = addrs.size();
@@ -292,7 +296,11 @@ void BM_ProfilerSampledAccessProduction(benchmark::State& state) {
   mem::HeteroMemory hms(mem::HmsConfig::scaled(0.5, 1.0, 16 << 20, 64 << 20));
   rt::Registry reg(&hms, nullptr);
   for (std::size_t i = 0; i < kProfObjects; ++i)
-    reg.create("o" + std::to_string(i), 64 * kKiB, {}, mem::Tier::kNvm);
+    {
+      std::string name = "o";
+      name += std::to_string(i);
+      reg.create(name, 64 * kKiB, {}, mem::Tier::kNvm);
+    }
   const auto addrs = make_miss_stream(reg, kProfEvents);
   auto snap = reg.addr_snapshot();
   rt::ProfileAggregator agg;

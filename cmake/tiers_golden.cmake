@@ -1,0 +1,45 @@
+# Golden pin of the classic 2-tier path against the N-tier machinery:
+# runs SPEC single-process as-is (its points carry no explicit topology,
+# so the machine is the classic DRAM+NVM pair built from the bw/lat/dram
+# axes) and again with `--tiers classic` (which routes through the
+# topology-axis collapse), then asserts the CSV/JSONL artifacts are
+# byte-identical.  Any drift here means the N-tier generalization changed
+# the 2-tier behavior it must leave untouched.  Invoked by ctest (label
+# sweep-smoke) as
+#   cmake -DSWEEP_CLI=... -DWORK_DIR=... -DSPEC=fig13 -P this_file
+foreach(var SWEEP_CLI WORK_DIR SPEC)
+  if(NOT DEFINED ${var})
+    message(FATAL_ERROR "tiers_golden: -D${var}=... is required")
+  endif()
+endforeach()
+
+file(REMOVE_RECURSE "${WORK_DIR}")
+file(MAKE_DIRECTORY "${WORK_DIR}")
+set(ENV{UNIMEM_BENCH_SMOKE} 1)
+
+function(run_cli)
+  execute_process(COMMAND ${ARGN} RESULT_VARIABLE rc)
+  if(NOT rc EQUAL 0)
+    message(FATAL_ERROR "tiers_golden: '${ARGN}' exited ${rc}")
+  endif()
+endfunction()
+
+run_cli("${SWEEP_CLI}" --spec ${SPEC} --jobs 1 --quiet
+        --csv "${WORK_DIR}/base.csv" --jsonl "${WORK_DIR}/base.jsonl")
+run_cli("${SWEEP_CLI}" --spec ${SPEC} --jobs 1 --tiers classic --quiet
+        --csv "${WORK_DIR}/classic.csv" --jsonl "${WORK_DIR}/classic.jsonl")
+
+foreach(ext csv jsonl)
+  execute_process(
+    COMMAND ${CMAKE_COMMAND} -E compare_files
+            "${WORK_DIR}/base.${ext}" "${WORK_DIR}/classic.${ext}"
+    RESULT_VARIABLE rc)
+  if(NOT rc EQUAL 0)
+    message(FATAL_ERROR
+            "tiers_golden: ${SPEC} --tiers classic ${ext} differs from the "
+            "spec-default artifact (the 2-tier path is no longer inert)")
+  endif()
+endforeach()
+message(STATUS
+        "tiers_golden: ${SPEC} CSV/JSONL byte-identical with and without "
+        "--tiers classic (2-tier machine pinned)")

@@ -1,0 +1,120 @@
+#!/usr/bin/env python3
+"""Markdown link checker for the repo's documentation (the CI `docs` stage).
+
+Scans README.md, ROADMAP.md, and docs/**/*.md for inline links/images
+(`[text](target)`) and fails on dead *intra-repo* links:
+
+  * a relative target whose file does not exist, or
+  * an anchor (`file.md#section` or `#section`) that matches no heading
+    in the target markdown file (GitHub's heading-slug rules).
+
+External links (http/https/mailto) and targets that resolve outside the
+repository (e.g. the CI badge's `../../actions/...` GitHub-site path)
+are skipped — this check never needs the network.
+
+Exit status: 0 clean, 1 dead links (each printed as file:line: message).
+"""
+
+import re
+import sys
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parent.parent
+DOC_FILES = ["README.md", "ROADMAP.md"]
+DOC_DIRS = ["docs"]
+
+# Inline links/images: [text](target "title") — target ends at the first
+# unbalanced ')' or whitespace-before-title.  Good enough for this repo's
+# hand-written markdown; reference-style links are not used here.
+LINK_RE = re.compile(r"!?\[[^\]]*\]\(\s*<?([^)<>\s]+)>?(?:\s+\"[^\"]*\")?\s*\)")
+HEADING_RE = re.compile(r"^#{1,6}\s+(.*?)\s*#*\s*$")
+SCHEME_RE = re.compile(r"^[a-zA-Z][a-zA-Z0-9+.-]*:")
+CODE_FENCE_RE = re.compile(r"^(```|~~~)")
+
+
+def github_slug(heading: str, seen: dict) -> str:
+    """GitHub's anchor slug: strip markup-ish punctuation, lowercase,
+    spaces to hyphens, then a -N suffix for repeats."""
+    text = re.sub(r"`([^`]*)`", r"\1", heading)  # inline code keeps its text
+    text = re.sub(r"\[([^\]]*)\]\([^)]*\)", r"\1", text)  # links keep text
+    slug = re.sub(r"[^\w\- ]", "", text.lower(), flags=re.UNICODE)
+    slug = slug.replace(" ", "-")
+    n = seen.get(slug, 0)
+    seen[slug] = n + 1
+    return slug if n == 0 else f"{slug}-{n}"
+
+
+def heading_slugs(md_path: Path) -> set:
+    slugs, seen, in_fence = set(), {}, False
+    for line in md_path.read_text(encoding="utf-8").splitlines():
+        if CODE_FENCE_RE.match(line.strip()):
+            in_fence = not in_fence
+            continue
+        if in_fence:
+            continue
+        m = HEADING_RE.match(line)
+        if m:
+            slugs.add(github_slug(m.group(1), seen))
+    return slugs
+
+
+def doc_files():
+    files = [REPO / f for f in DOC_FILES if (REPO / f).exists()]
+    for d in DOC_DIRS:
+        files.extend(sorted((REPO / d).glob("**/*.md")))
+    return files
+
+
+def check_file(md_path: Path, slug_cache: dict) -> list:
+    errors, in_fence = [], False
+    for lineno, line in enumerate(
+            md_path.read_text(encoding="utf-8").splitlines(), start=1):
+        if CODE_FENCE_RE.match(line.strip()):
+            in_fence = not in_fence
+            continue
+        if in_fence:
+            continue
+        for m in LINK_RE.finditer(line):
+            target = m.group(1)
+            if SCHEME_RE.match(target):  # http:, https:, mailto:, ...
+                continue
+            path_part, _, anchor = target.partition("#")
+            if path_part:
+                resolved = (md_path.parent / path_part).resolve()
+                try:
+                    resolved.relative_to(REPO)
+                except ValueError:
+                    continue  # escapes the repo (GitHub-site path): skip
+                if not resolved.exists():
+                    errors.append((lineno, f"dead link: {target} "
+                                   f"({resolved.relative_to(REPO)} missing)"))
+                    continue
+            else:
+                resolved = md_path
+            if anchor and resolved.suffix == ".md" and resolved.is_file():
+                if resolved not in slug_cache:
+                    slug_cache[resolved] = heading_slugs(resolved)
+                if anchor.lower() not in slug_cache[resolved]:
+                    errors.append((lineno, f"dead anchor: {target} "
+                                   f"(no such heading in "
+                                   f"{resolved.relative_to(REPO)})"))
+    return errors
+
+
+def main() -> int:
+    failed = 0
+    slug_cache = {}
+    for md in doc_files():
+        for lineno, msg in check_file(md, slug_cache):
+            print(f"{md.relative_to(REPO)}:{lineno}: {msg}")
+            failed += 1
+    n = len(doc_files())
+    if failed:
+        print(f"check_md_links: {failed} dead link(s) across {n} file(s)")
+        return 1
+    print(f"check_md_links: OK ({n} file(s) clean)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -3,8 +3,11 @@
 # matrix (.github/workflows/ci.yml — each matrix job runs exactly one
 # stage):
 #
-#   scripts/ci.sh release   configure+build (RelWithDebInfo) -> tier-1 ->
-#                           e2e aggregates -> bench smoke -> sweep smoke
+#   scripts/ci.sh docs      markdown link check over README/ROADMAP/docs/
+#                           (no build; also runs first in the release stage)
+#   scripts/ci.sh release   docs -> configure+build (RelWithDebInfo) ->
+#                           tier-1 -> e2e aggregates -> bench smoke ->
+#                           sweep smoke
 #   scripts/ci.sh asan      ASan+UBSan Debug build -> tier-1
 #   scripts/ci.sh tsan      TSan Debug build -> tier-1 -> sweep smoke
 #                           (minimpi + the migration helper thread + the
@@ -17,7 +20,16 @@ cd "$(dirname "$0")/.."
 
 JOBS="${JOBS:-$(nproc)}"
 
+stage_docs() {
+  echo "== [docs] markdown link check =="
+  # Fails on intra-repo links/anchors that point nowhere (README, ROADMAP,
+  # docs/**).  External URLs are skipped — no network in CI paths.
+  python3 scripts/check_md_links.py
+}
+
 stage_release() {
+  stage_docs
+
   echo "== [release] configure =="
   cmake -B build -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo
 
@@ -88,6 +100,7 @@ stage_tsan() {
 
 STAGE="${1:-all}"
 case "$STAGE" in
+  docs)    stage_docs ;;
   release) stage_release ;;
   asan)    stage_asan ;;
   tsan)    stage_tsan ;;
@@ -97,7 +110,7 @@ case "$STAGE" in
     stage_tsan
     ;;
   *)
-    echo "usage: scripts/ci.sh [release|asan|tsan|all]" >&2
+    echo "usage: scripts/ci.sh [docs|release|asan|tsan|all]" >&2
     exit 1
     ;;
 esac

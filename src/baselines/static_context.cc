@@ -43,16 +43,22 @@ rt::DataObject* StaticContext::malloc_object(const std::string& name,
                                              std::size_t bytes,
                                              rt::ObjectTraits traits) {
   mem::Tier t = placement_(name, bytes);
+  // A PlacementFn answers in the paper's 2-tier vocabulary; on an N-tier
+  // machine its "NVM" answer means the unconstrained backstop (identical on
+  // 2-tier, where the backstop IS kNvm).
+  const mem::Tier backstop = registry_->hms().backstop_tier();
+  if (t == mem::Tier::kNvm) t = backstop;
   // Same chunk layout as the Unimem runtime => identical data layout and
   // checksums across policies.  A DRAM placement that exceeds the node
-  // allowance falls back to NVM (as a real tiering allocator would).
+  // allowance falls back to the backstop (as a real tiering allocator
+  // would).
   rt::DataObject* obj = nullptr;
   try {
     obj = registry_->create(name, bytes, traits, t,
                             rt::chunk_bytes_for(traits.chunkable, bytes));
   } catch (const std::bad_alloc&) {
-    if (t == mem::Tier::kDram) {
-      obj = registry_->create(name, bytes, traits, mem::Tier::kNvm,
+    if (t != backstop) {
+      obj = registry_->create(name, bytes, traits, backstop,
                               rt::chunk_bytes_for(traits.chunkable, bytes));
     } else {
       throw;

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <numeric>
+#include <stdexcept>
 
 namespace unimem::rt {
 
@@ -177,6 +178,146 @@ KnapsackResult KnapsackSolver::solve_bounded(
   }
   std::sort(out.selected.begin(), out.selected.end());
   return out;
+}
+
+MckpResult KnapsackSolver::solve_mckp(
+    const std::vector<MckpItem>& items,
+    const std::vector<std::size_t>& capacities) const {
+  const std::size_t K = capacities.size();
+  if (K == 0)
+    throw std::invalid_argument("solve_mckp: empty capacity vector");
+  std::vector<int> unbounded;
+  std::vector<int> constrained;
+  for (std::size_t k = 0; k < K; ++k) {
+    if (capacities[k] == kUnbounded)
+      unbounded.push_back(static_cast<int>(k));
+    else
+      constrained.push_back(static_cast<int>(k));
+  }
+  if (unbounded.empty())
+    throw std::invalid_argument(
+        "solve_mckp: at least one tier must be kUnbounded (the backstop)");
+  for (const MckpItem& it : items)
+    if (it.weights.size() != K)
+      throw std::invalid_argument(
+          "solve_mckp: item weight arity != tier count");
+
+  MckpResult out;
+  const std::size_t n = items.size();
+  out.choice.assign(n, 0);
+
+  // Baseline: every item takes its best unbounded tier (any other
+  // unbounded choice is dominated, so the DP never needs to consider it).
+  std::vector<int> best_u(n, 0);
+  for (std::size_t i = 0; i < n; ++i) {
+    int best = unbounded.front();
+    for (int k : unbounded)
+      if (items[i].weights[k] > items[i].weights[best]) best = k;
+    best_u[i] = best;
+    out.choice[i] = best;
+  }
+
+  auto finish = [&] {
+    out.total_weight = 0;
+    for (std::size_t i = 0; i < n; ++i)
+      out.total_weight += items[i].weights[out.choice[i]];
+    return out;
+  };
+  if (constrained.empty() || n == 0) return finish();
+
+  // Quantize once; the per-dimension caps are pre-clamped to the total
+  // quantized size exactly like the 0-1 path's capacity pre-clamp.
+  std::vector<std::size_t> gsz(n);
+  std::size_t total_g = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    gsz[i] = granules(items[i].bytes, granule_);
+    total_g += gsz[i];
+  }
+  const std::size_t m = constrained.size();
+  std::vector<std::size_t> cap(m);
+  for (std::size_t j = 0; j < m; ++j)
+    cap[j] = std::min(capacities[constrained[j]] / granule_, total_g);
+
+  // Dense-DP budget: n x prod(cap_j + 1) cells, overflow-safely.
+  bool dense = true;
+  std::size_t P = 1;
+  for (std::size_t j = 0; j < m && dense; ++j) {
+    if (P > kDenseDpCellBudget / (cap[j] + 1)) dense = false;
+    else P *= cap[j] + 1;
+  }
+  if (dense && P > kDenseDpCellBudget / n) dense = false;
+
+  if (!dense) {
+    // Waterfall fallback: fill constrained tiers in index order through the
+    // bounded 0-1 path, each pass scoring still-unassigned items by their
+    // marginal weight over their best unbounded choice.
+    std::vector<char> assigned(n, 0);
+    for (std::size_t j = 0; j < m; ++j) {
+      const int tier = constrained[j];
+      std::vector<KnapsackItem> sub;
+      std::vector<std::size_t> map;
+      for (std::size_t i = 0; i < n; ++i) {
+        if (assigned[i]) continue;
+        sub.push_back(KnapsackItem{
+            items[i].weights[tier] - items[i].weights[best_u[i]],
+            items[i].bytes});
+        map.push_back(i);
+      }
+      const KnapsackResult r = solve_bounded(sub, capacities[tier]);
+      for (std::size_t s : r.selected) {
+        out.choice[map[s]] = tier;
+        assigned[map[s]] = 1;
+      }
+    }
+    return finish();
+  }
+
+  // Exact multi-dimensional DP: two rolling value arrays over the
+  // flattened product of constrained-tier granule capacities, plus a
+  // per-item pick table for reconstruction (-1 = best unbounded choice,
+  // j = constrained dimension j).
+  std::vector<std::size_t> stride(m, 1);
+  for (std::size_t j = 1; j < m; ++j) stride[j] = stride[j - 1] * (cap[j - 1] + 1);
+
+  std::vector<double> prev(P, 0.0);
+  std::vector<double> next(P, 0.0);
+  std::vector<std::int8_t> pick(n * P, -1);
+  std::vector<std::size_t> coord(m, 0);
+  for (std::size_t i = 0; i < n; ++i) {
+    const double wu = items[i].weights[best_u[i]];
+    std::fill(coord.begin(), coord.end(), 0);
+    for (std::size_t idx = 0; idx < P; ++idx) {
+      double best = prev[idx] + wu;
+      std::int8_t pk = -1;
+      for (std::size_t j = 0; j < m; ++j) {
+        if (coord[j] < gsz[i]) continue;
+        const double v = prev[idx - gsz[i] * stride[j]] +
+                         items[i].weights[constrained[j]];
+        if (v > best) {
+          best = v;
+          pk = static_cast<std::int8_t>(j);
+        }
+      }
+      next[idx] = best;
+      pick[i * P + idx] = pk;
+      for (std::size_t j = 0; j < m; ++j) {  // odometer increment
+        if (++coord[j] <= cap[j]) break;
+        coord[j] = 0;
+      }
+    }
+    prev.swap(next);
+  }
+
+  // Reconstruct from the full-capacity cell (mixed-radix index P - 1).
+  std::size_t idx = P - 1;
+  for (std::size_t i = n; i-- > 0;) {
+    const std::int8_t pk = pick[i * P + idx];
+    if (pk >= 0) {
+      out.choice[i] = constrained[pk];
+      idx -= gsz[i] * stride[pk];
+    }
+  }
+  return finish();
 }
 
 KnapsackResult KnapsackSolver::solve_greedy(

@@ -6,6 +6,13 @@
 // programming.  Sizes are quantized to a granule so the DP table stays
 // small; a greedy-by-density fallback handles degenerate capacities and
 // serves as the ablation baseline (DESIGN.md §6.4).
+//
+// On an N-tier machine the placement problem generalizes to a
+// multiple-choice knapsack (MCKP): each unit picks *a* tier — not in/out of
+// DRAM — under per-tier capacities.  solve_mckp() is exact (multi-dim DP)
+// up to the same cell budget the 0-1 path uses, then degrades to a
+// waterfall of per-tier solve_bounded() passes, so both entry points share
+// one bounded-approximation story.
 #pragma once
 
 #include <cstddef>
@@ -23,6 +30,19 @@ struct KnapsackResult {
   std::vector<std::size_t> selected;  ///< indices into the item array
   double total_weight = 0;
   std::size_t total_bytes = 0;
+};
+
+/// One unit in the multiple-choice (N-tier) placement problem.  weights[k]
+/// is the value of placing the unit in tier k, in the same seconds currency
+/// as KnapsackItem::weight; the arity must equal the capacity vector's.
+struct MckpItem {
+  std::vector<double> weights;
+  std::size_t bytes = 0;
+};
+
+struct MckpResult {
+  std::vector<int> choice;  ///< choice[i] = tier index picked for item i
+  double total_weight = 0;  ///< sum of weights[i][choice[i]]
 };
 
 class KnapsackSolver {
@@ -56,6 +76,30 @@ class KnapsackSolver {
   /// count, independent of the capacity.
   KnapsackResult solve_bounded(const std::vector<KnapsackItem>& items,
                                std::size_t capacity_bytes) const;
+
+  /// Capacity sentinel for solve_mckp: the tier is unmetered.  At least one
+  /// entry of the capacity vector must be kUnbounded (the backstop tier that
+  /// can absorb everything) or the instance has no guaranteed-feasible
+  /// choice and solve_mckp throws std::invalid_argument.
+  static constexpr std::size_t kUnbounded = static_cast<std::size_t>(-1);
+
+  /// Multiple-choice knapsack: every item picks exactly one tier,
+  /// maximizing total weight subject to per-tier byte capacities
+  /// (kUnbounded entries are unmetered).  Contract:
+  ///   - every item's weights arity must equal capacities.size(), and at
+  ///     least one capacity must be kUnbounded, else std::invalid_argument;
+  ///   - sizes are quantized to the same granule as solve(), rounded up;
+  ///   - the solution is exact (multi-dimensional rolling DP over the
+  ///     product of constrained-tier granule capacities) while
+  ///     n x prod(cap_j + 1) fits the same cell budget solve() uses;
+  ///   - past the budget it degrades to a waterfall of per-tier
+  ///     solve_bounded() passes in tier-index order, scoring each item by
+  ///     its marginal weight over its best unbounded choice — so the
+  ///     bounded-approximation story is shared with the 0-1 path;
+  ///   - ties prefer the unbounded choice, then the lower constrained tier
+  ///     index, so results are deterministic.
+  MckpResult solve_mckp(const std::vector<MckpItem>& items,
+                        const std::vector<std::size_t>& capacities) const;
 
  private:
   /// Shared candidate filter + degenerate-instance shortcut for both

@@ -8,7 +8,9 @@
 namespace unimem::rt {
 
 MigrationEngine::MigrationEngine(Registry* registry)
-    : registry_(registry), helper_([this] { copy_worker(); }) {}
+    : registry_(registry),
+      pending_src_in_tier_(registry->hms().num_tiers(), 0),
+      helper_([this] { copy_worker(); }) {}
 
 MigrationEngine::~MigrationEngine() {
   {

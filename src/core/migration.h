@@ -148,7 +148,8 @@ class MigrationEngine {
   std::condition_variable copy_cv_;
   std::deque<Registry::PendingCopy> copies_;
   std::map<UnitRef, int> copy_pending_;  ///< outstanding copies per unit
-  int pending_src_in_tier_[2] = {0, 0};  ///< outstanding zombie frees per tier
+  /// Outstanding zombie frees per tier, sized to the HMS's tier count.
+  std::vector<int> pending_src_in_tier_;
   bool stop_ = false;
   std::thread helper_;
 };

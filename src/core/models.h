@@ -103,6 +103,41 @@ class PerformanceModel {
     return std::max(raw - overlap_s, 0.0);
   }
 
+  // ---- N-tier forms ------------------------------------------------------
+  // Eqs. 2/3 for an arbitrary (fast, slow) tier pair: the benefit of
+  // residence in `fast` relative to `slow`.  With (fast, slow) = the
+  // model's own (DRAM, NVM) pair these are the identical floating-point
+  // expressions as the members above — the MCKP planner scores every tier
+  // against the backstop through them.
+
+  double benefit_bandwidth_between(const UnitPhaseProfile& u,
+                                   const mem::TierConfig& fast,
+                                   const mem::TierConfig& slow) const {
+    double bytes = static_cast<double>(u.est_accesses) * 64.0;
+    return (bytes / slow.read_bw - bytes / fast.read_bw) * p_.cf_bw;
+  }
+
+  double benefit_latency_between(const UnitPhaseProfile& u,
+                                 const mem::TierConfig& fast,
+                                 const mem::TierConfig& slow) const {
+    double a = static_cast<double>(u.est_accesses);
+    return (a * slow.read_latency_s - a * fast.read_latency_s) * p_.cf_lat;
+  }
+
+  /// Sensitivity-dispatched benefit of `fast` over `slow` (classification
+  /// depends only on the profile and the calibrated peak, not the pair).
+  double benefit_between(const UnitPhaseProfile& u, const mem::TierConfig& fast,
+                         const mem::TierConfig& slow) const {
+    switch (classify(u)) {
+      case Sensitivity::kBandwidth: return benefit_bandwidth_between(u, fast, slow);
+      case Sensitivity::kLatency: return benefit_latency_between(u, fast, slow);
+      case Sensitivity::kEither:
+        return std::max(benefit_bandwidth_between(u, fast, slow),
+                        benefit_latency_between(u, fast, slow));
+    }
+    return 0;
+  }
+
  private:
   ModelParams p_;
   mem::TierConfig dram_;

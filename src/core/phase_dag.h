@@ -52,6 +52,19 @@ class PhaseDag {
   /// along a long chain, relative to the critical-path length).
   double eps() const;
 
+  // Builder preconditions (add_node/add_edge):
+  //  * Add each (rank, phase) pair at most once.  A duplicate is not
+  //    rejected, but the lookup index keeps only the latest node, so the
+  //    earlier one becomes unreachable through find()/slack()/critical()
+  //    while still shaping the CPM result — a state no caller wants.
+  //  * Edge endpoints must be indices returned by a *prior* add_node on
+  //    this DAG.  Out-of-range endpoints and self-edges are silently
+  //    dropped; duplicate parallel edges are accepted and harmless.
+  //  * Durations must be finite and >= 0 (profiled times; never NaN).
+  //  * Any add invalidates computed(): until the next successful
+  //    compute(), slack() reads 0 and critical() reads true — the
+  //    conservative answers that keep the slack scheduler honest.
+
   /// Returns the node's index (edges reference indices).
   std::size_t add_node(int rank, std::size_t phase, double duration_s,
                        bool is_comm);

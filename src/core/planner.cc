@@ -432,10 +432,118 @@ Plan Planner::plan_global(const Profiler& prof,
   return plan;
 }
 
+Plan Planner::plan_tiered(const Profiler& prof,
+                          const std::vector<Group>& groups,
+                          const GroupProfiles& gp) const {
+  const std::size_t P = gp.size();
+  Plan plan;
+  plan.kind = Plan::Kind::kTiered;
+  plan.at_phase.assign(std::max<std::size_t>(P, 1), {});
+  plan.dram_sets.assign(std::max<std::size_t>(P, 1), {});
+
+  const mem::HeteroMemory& hms = registry_->hms();
+  const std::size_t T = hms.num_tiers();
+  const mem::Tier backstop = hms.backstop_tier();
+  const mem::TierConfig& back_cfg = hms.tier_config(backstop);
+
+  // Aggregated per-(group, tier) benefit over the whole iteration, every
+  // tier scored against the backstop through the pairwise Eq. 2/3 forms
+  // (the backstop's own column is 0 by construction).
+  std::map<std::size_t, std::vector<double>> benefit;
+  for (std::size_t p = 0; p < P; ++p)
+    for (const auto& [g, uprof] : gp[p]) {
+      auto [it, fresh] = benefit.emplace(g, std::vector<double>(T, 0.0));
+      for (std::size_t k = 0; k + 1 < T; ++k)
+        it->second[k] += model_->benefit_between(
+            uprof, hms.tier_config(mem::tier(static_cast<int>(k))), back_cfg);
+    }
+
+  // A group's current tier: units move together, so a (transiently) mixed
+  // group counts as its slowest member's.
+  auto group_tier = [&](const Group& g) {
+    int t = 0;
+    for (const UnitRef& u : g.units)
+      t = std::max(t, mem::tier_index(registry_->unit_tier(u)));
+    return t;
+  };
+
+  // MCKP items: every referenced group chooses a tier; each weight nets the
+  // one-time fill copy out of the benefit (charged once, exactly the global
+  // search's accounting), and staying put is free.
+  std::vector<std::size_t> refs;
+  std::vector<MckpItem> items;
+  for (const auto& [g, ben] : benefit) {
+    const int cur = group_tier(groups[g]);
+    MckpItem item;
+    item.bytes = groups[g].bytes;
+    item.weights.assign(T, 0.0);
+    for (std::size_t k = 0; k < T; ++k) {
+      double cost = 0;
+      if (static_cast<int>(k) != cur)
+        cost = static_cast<double>(groups[g].bytes) /
+               hms.copy_bandwidth(mem::tier(cur), mem::tier(static_cast<int>(k)));
+      item.weights[k] = ben[k] - cost;
+    }
+    refs.push_back(g);
+    items.push_back(std::move(item));
+  }
+
+  std::vector<std::size_t> caps(T, KnapsackSolver::kUnbounded);
+  for (std::size_t k = 0; k < opts_.tier_budgets.size() && k < T; ++k)
+    caps[k] = opts_.tier_budgets[k];
+  caps[T - 1] = KnapsackSolver::kUnbounded;  // the backstop absorbs the rest
+
+  KnapsackSolver solver;
+  const MckpResult sel = solver.solve_mckp(items, caps);
+
+  auto first_ref = [&](std::size_t g) {
+    for (std::size_t p = 0; p < P; ++p)
+      if (gp[p].count(g) != 0) return p;
+    return std::size_t{0};
+  };
+
+  double predicted = no_move_time(prof);
+  // Unreferenced groups vacate constrained tiers (the global search's
+  // eviction scan, generalized) so the chosen packing actually fits.
+  for (std::size_t g = 0; g < groups.size(); ++g) {
+    if (benefit.count(g) != 0) continue;
+    if (group_tier(groups[g]) != static_cast<int>(T) - 1)
+      for (const UnitRef& u : groups[g].units)
+        plan.at_phase[0].push_back(PlannedMigration{u, backstop, 0, 0});
+  }
+  // Demotions enqueue before promotions: the phase-0 FIFO batch frees
+  // constrained space before filling it (same discipline as plan_global).
+  for (int pass = 0; pass < 2; ++pass) {
+    for (std::size_t i = 0; i < refs.size(); ++i) {
+      const std::size_t g = refs[i];
+      const int cur = group_tier(groups[g]);
+      const int to = sel.choice[i];
+      if (to == cur) continue;
+      if ((to > cur) != (pass == 0)) continue;
+      for (const UnitRef& u : groups[g].units)
+        plan.at_phase[0].push_back(
+            PlannedMigration{u, mem::tier(to), 0, first_ref(g)});
+      // Symmetric accounting against the profiled placement: moving from
+      // `cur` to `to` changes the iteration by benefit lost minus the
+      // (cost-netted) weight gained.
+      predicted += benefit.at(g)[cur] - items[i].weights[to];
+    }
+  }
+  for (std::size_t i = 0; i < refs.size(); ++i)
+    if (sel.choice[i] == 0)
+      for (std::size_t p = 0; p < plan.dram_sets.size(); ++p)
+        for (const UnitRef& u : groups[refs[i]].units)
+          plan.dram_sets[p].insert(u);
+
+  plan.predicted_iteration_s = predicted;
+  return plan;
+}
+
 Plan Planner::plan(const Profiler& prof) const {
   if (prof.phase_count() == 0) return Plan{};
   std::vector<Group> groups = build_groups();
   GroupProfiles gp = aggregate(prof, groups);
+  if (!opts_.tier_budgets.empty()) return plan_tiered(prof, groups, gp);
 
   Plan best;
   best.predicted_iteration_s = no_move_time(prof);

@@ -13,6 +13,12 @@
 //     the helper thread can overlap the copy;
 //   * cross-phase global search — one knapsack over aggregated benefits,
 //     a single placement for the whole iteration, no intra-iteration moves.
+//
+// On an N-tier machine (PlannerOptions::tier_budgets non-empty) the search
+// becomes multiple-choice: every group picks *a* tier, scored against the
+// backstop through the pairwise Eq. 2/3 forms, and the MCKP solver packs
+// the constrained tiers jointly (knapsack.h).  The 2-tier path never sets
+// tier_budgets, keeping the classic searches byte-identical.
 #pragma once
 
 #include <set>
@@ -39,7 +45,14 @@ struct PlannedMigration {
 struct Plan {
   /// kIncremental: a warm-start repair of the previous plan produced by
   /// the ReplanController (replan.h), not a fresh search.
-  enum class Kind { kNone, kLocal, kGlobal, kIncremental } kind = Kind::kNone;
+  /// kTiered: the N-tier multiple-choice placement (tier_budgets set).
+  enum class Kind {
+    kNone,
+    kLocal,
+    kGlobal,
+    kIncremental,
+    kTiered
+  } kind = Kind::kNone;
   /// Migrations to enqueue at the start of each phase, every iteration.
   /// Index: phase; empty vector = nothing to do.
   std::vector<std::vector<PlannedMigration>> at_phase;
@@ -76,6 +89,11 @@ struct PlannerOptions {
   const PhaseDag* dag = nullptr;
   /// This rank's id in the DAG (slack/critical lookups).
   int rank = 0;
+  /// Per-tier byte budgets for the N-tier multiple-choice search, indexed
+  /// by tier; KnapsackSolver::kUnbounded entries are unmetered (the last
+  /// tier — the backstop — always is).  Empty (the default, and always on
+  /// a 2-tier machine) routes planning through the classic searches.
+  std::vector<std::size_t> tier_budgets;
 };
 
 class Planner {
@@ -109,6 +127,11 @@ class Planner {
   Plan plan_local(const Profiler& prof, const std::vector<Group>& groups,
                   const GroupProfiles& gp) const;
   Plan plan_global(const Profiler& prof, const std::vector<Group>& groups,
+                   const GroupProfiles& gp) const;
+  /// N-tier placement (tier_budgets set): one MCKP over the aggregated
+  /// per-(group, tier) benefits, every referenced group choosing a tier;
+  /// demotions enqueue before promotions in the phase-0 FIFO batch.
+  Plan plan_tiered(const Profiler& prof, const std::vector<Group>& groups,
                    const GroupProfiles& gp) const;
 
   /// Overlap window before `phase` available for moving group `g`: the

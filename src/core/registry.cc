@@ -24,10 +24,12 @@ Registry::~Registry() {
 }
 
 void* Registry::allocate_in(mem::Tier t, std::size_t bytes) {
-  if (t == mem::Tier::kDram && arbiter_ != nullptr) {
-    if (!arbiter_->request(bytes)) return nullptr;
+  // The arbiter meters constrained tiers only (tier 0 / DRAM on the paper's
+  // 2-tier machine; every non-backstop tier on an N-tier one).
+  if (arbiter_ != nullptr && arbiter_->constrains(mem::tier_index(t))) {
+    if (!arbiter_->request_tier(mem::tier_index(t), bytes)) return nullptr;
     void* p = hms_->allocate(t, bytes);
-    if (p == nullptr) arbiter_->release(bytes);
+    if (p == nullptr) arbiter_->release_tier(mem::tier_index(t), bytes);
     return p;
   }
   return hms_->allocate(t, bytes);
@@ -35,7 +37,7 @@ void* Registry::allocate_in(mem::Tier t, std::size_t bytes) {
 
 void Registry::release_in(mem::Tier t, void* p, std::size_t bytes) {
   hms_->deallocate(t, p);
-  if (t == mem::Tier::kDram && arbiter_ != nullptr) arbiter_->release(bytes);
+  if (arbiter_ != nullptr) arbiter_->release_tier(mem::tier_index(t), bytes);
 }
 
 DataObject* Registry::create(const std::string& name, std::size_t bytes,
@@ -143,10 +145,9 @@ std::optional<Registry::PendingCopy> Registry::migrate_start(UnitRef unit,
   c.ptr.store(dst, std::memory_order_release);
   c.tier.store(static_cast<int>(to), std::memory_order_release);
   map_unit(c, unit);
-  // DRAM accounting follows the decision, not the copy: the allowance is
-  // a placement budget, and placement just changed.
-  if (from == mem::Tier::kDram && arbiter_ != nullptr)
-    arbiter_->release(c.bytes);
+  // Allowance accounting follows the decision, not the copy: the allowance
+  // is a placement budget, and placement just changed.
+  if (arbiter_ != nullptr) arbiter_->release_tier(mem::tier_index(from), c.bytes);
 
   if (unit.chunk == 0)
     for (void** a : obj->aliases_) *a = dst;

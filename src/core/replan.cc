@@ -189,6 +189,13 @@ ReplanDecision ReplanController::decide(
     d.path = ReplanDecision::Path::kKeepStale;
     return d;
   }
+  if (registry_->hms().num_tiers() > 2) {
+    // The warm-start repair reasons in resident-in-DRAM terms; on an
+    // N-tier machine any real drift re-runs the multiple-choice solve
+    // instead of patching a 2-tier answer onto it.
+    d.path = ReplanDecision::Path::kFullSolve;
+    return d;
+  }
 
   double stale_pred = 0, repaired_pred = 0;
   UNIMEM_TRACE_BEGIN1("replan", "repair", -1.0, "drifted", drifted.size());

@@ -100,10 +100,12 @@ DataObject* Runtime::malloc_object(const std::string& name, std::size_t bytes,
                               ? opts_.chunk_bytes
                               : 0)
                        : chunk_bytes_for(traits.chunkable, bytes);
-  // Allocation mutates the NVM arena: zombie blocks of in-flight fills
-  // must land first so the chosen offsets stay in decision order.
-  migrator_->quiesce(mem::Tier::kNvm);
-  DataObject* obj = registry_->create(name, bytes, traits, mem::Tier::kNvm, cb);
+  // Allocation mutates the backstop arena (NVM on the 2-tier machine):
+  // zombie blocks of in-flight fills must land first so the chosen offsets
+  // stay in decision order.
+  const mem::Tier backstop = hms_->backstop_tier();
+  migrator_->quiesce(backstop);
+  DataObject* obj = registry_->create(name, bytes, traits, backstop, cb);
   // Raw app accesses (checksum taps, fill patterns) go through
   // chunk_span(); fence them against the migration helper so the app
   // never reads or writes a chunk mid-copy.  Virtual time is not charged:
@@ -477,6 +479,23 @@ void Runtime::make_plan() {
   if (opts_.dag_schedule == DagSchedule::kSlack && dag_ready_) {
     popts.dag = &dag_;
     popts.rank = comm_ != nullptr ? comm_->rank() : 0;
+  }
+  if (hms_->num_tiers() > 2) {
+    // N-tier machine: hand the planner this rank's share of every
+    // constrained tier and let the multiple-choice search place across the
+    // ladder.  (Never set on 2-tier, keeping the classic searches
+    // byte-identical.)
+    const mem::DramArbiter* arb = registry_->arbiter();
+    popts.tier_budgets.assign(hms_->num_tiers(),
+                              KnapsackSolver::kUnbounded);
+    for (std::size_t k = 0; k + 1 < hms_->num_tiers(); ++k) {
+      const int ki = static_cast<int>(k);
+      const std::size_t node_cap =
+          arb != nullptr && arb->constrains(ki)
+              ? arb->allowance_tier(ki)
+              : hms_->tier_config(mem::tier(ki)).capacity_bytes;
+      popts.tier_budgets[k] = node_cap / std::max(1, opts_.ranks_per_node);
+    }
   }
   Planner planner(registry_.get(), model_.get(), popts);
   plan_ = planner.plan(profiler_);

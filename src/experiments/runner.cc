@@ -42,6 +42,27 @@ std::vector<Node> make_nodes(const RunConfig& cfg, bool dram_speed_everywhere) {
   // physical contiguity at object granularity.
   const std::size_t dram_arena = 2 * cfg.dram_capacity + 4 * kMiB;
   std::vector<Node> nodes(static_cast<std::size_t>(nnodes));
+  if (!cfg.tiers.empty() && !dram_speed_everywhere) {
+    // Explicit N-tier topology.  Spec capacities are per-node *allowances*:
+    // every constrained tier's arena carries the same 2x slack as the
+    // classic DRAM arena, the backstop is grown to hold every rank's
+    // footprint, and the arbiter meters exactly the spec'd allowances.
+    mem::TopologyConfig topo = mem::parse_topology(cfg.tiers);
+    std::vector<std::size_t> allowances(topo.num_tiers(),
+                                        mem::DramArbiter::kUnbounded);
+    for (std::size_t k = 0; k + 1 < topo.num_tiers(); ++k) {
+      allowances[k] = topo.tiers[k].capacity_bytes;
+      topo.tiers[k].capacity_bytes =
+          2 * topo.tiers[k].capacity_bytes + 4 * kMiB;
+    }
+    topo.tiers.back().capacity_bytes =
+        std::max(topo.tiers.back().capacity_bytes, nvm_cap);
+    for (auto& n : nodes) {
+      n.hms = std::make_unique<mem::HeteroMemory>(topo);
+      n.arbiter = std::make_unique<mem::DramArbiter>(allowances);
+    }
+    return nodes;
+  }
   for (auto& n : nodes) {
     mem::HmsConfig hc;
     if (dram_speed_everywhere) {

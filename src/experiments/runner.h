@@ -29,6 +29,13 @@ struct RunConfig {
   double nvm_lat_mult = 1.0;
   /// Node DRAM allowance (paper default 256 MB -> scaled 8 MiB).
   std::size_t dram_capacity = 8 * kMiB;
+  /// Explicit N-tier topology spec, e.g. "hbm:1MiB,dram:4MiB,nvm:512MiB"
+  /// (parse_topology grammar; capacities are per-node allowances).  Empty
+  /// (the default) builds the classic 2-tier DRAM+NVM machine from the
+  /// fields above; DRAM-only baselines always ignore this.  Tier speeds
+  /// come from the named backend presets, so nvm_bw_ratio/nvm_lat_mult do
+  /// not apply to an explicit topology.
+  std::string tiers{};
   int ranks_per_node = 1;
   Policy policy = Policy::kUnimem;
   /// DRAM-resident object names for Policy::kManual (Fig. 4).

@@ -7,13 +7,23 @@
 namespace unimem::mem {
 
 HeteroMemory::HeteroMemory(HmsConfig cfg)
-    : cfg_(std::move(cfg)),
-      dram_(std::make_unique<Arena>(cfg_.dram.capacity_bytes)),
-      nvm_(std::make_unique<Arena>(cfg_.nvm.capacity_bytes)) {}
+    : HeteroMemory(TopologyConfig::dram_nvm(cfg.dram, cfg.nvm)) {}
+
+HeteroMemory::HeteroMemory(TopologyConfig cfg)
+    : tiers_(std::move(cfg.tiers)) {
+  if (tiers_.size() < 2) {
+    std::fprintf(stderr, "HeteroMemory: need at least 2 tiers\n");
+    std::abort();
+  }
+  cfg_ = HmsConfig{tiers_.front(), tiers_.back()};
+  arenas_.reserve(tiers_.size());
+  for (const TierConfig& t : tiers_)
+    arenas_.push_back(std::make_unique<Arena>(t.capacity_bytes));
+}
 
 Tier HeteroMemory::tier_of(const void* p) const {
-  if (dram_->contains(p)) return Tier::kDram;
-  if (nvm_->contains(p)) return Tier::kNvm;
+  for (std::size_t i = 0; i < arenas_.size(); ++i)
+    if (arenas_[i]->contains(p)) return tier(static_cast<int>(i));
   std::fprintf(stderr, "HeteroMemory::tier_of: unknown pointer\n");
   std::abort();
 }

@@ -1,20 +1,30 @@
-// The heterogeneous main-memory system (HMS): one small fast DRAM tier and
-// one large slow NVM tier sharing a physical address space (two arenas in
-// the host process).  Provides tier-tagged allocation and the inter-tier
-// copy-cost model used by the migration engine (paper Eq. 4's
-// `data_size / mem_copy_bw` term).
+// The heterogeneous main-memory system (HMS): an ordered set of memory
+// tiers sharing a physical address space (one arena per tier in the host
+// process).  The paper's machine is the 2-tier special case — one small
+// fast DRAM tier and one large slow NVM tier; a TopologyConfig generalizes
+// to N tiers (HBM above DRAM, CXL far memory, remote pools).  Provides
+// tier-tagged allocation and the inter-tier copy-cost model used by the
+// migration engine (paper Eq. 4's `data_size / mem_copy_bw` term).
 #pragma once
 
 #include <cstddef>
 #include <memory>
 #include <string>
+#include <vector>
 
 #include "simmem/arena.h"
 #include "simmem/tier_config.h"
 
 namespace unimem::mem {
 
+/// A tier is an *index* into the HMS's ordered tier list: 0 is the fastest
+/// tier, the last is the unconstrained backstop where objects start.  The
+/// two named values are the paper's 2-tier machine; N-tier code addresses
+/// intermediate tiers with tier(i).
 enum class Tier : int { kDram = 0, kNvm = 1 };
+
+inline Tier tier(int index) { return static_cast<Tier>(index); }
+inline int tier_index(Tier t) { return static_cast<int>(t); }
 
 inline const char* tier_name(Tier t) {
   return t == Tier::kDram ? "DRAM" : "NVM";
@@ -47,21 +57,38 @@ struct HmsConfig {
 
 class HeteroMemory {
  public:
+  /// The paper's 2-tier machine.
   explicit HeteroMemory(HmsConfig cfg);
+  /// An N-tier machine (cfg.tiers.size() >= 2, fastest first, backstop
+  /// last).  config() then reports the synthesized {fastest, backstop}
+  /// pair, which is what the calibration/model layer keys on.
+  explicit HeteroMemory(TopologyConfig cfg);
 
   const HmsConfig& config() const { return cfg_; }
-  const TierConfig& tier_config(Tier t) const {
-    return t == Tier::kDram ? cfg_.dram : cfg_.nvm;
+
+  std::size_t num_tiers() const { return tiers_.size(); }
+  /// The unconstrained last tier where every object starts (== kNvm on the
+  /// 2-tier machine).
+  Tier backstop_tier() const {
+    return tier(static_cast<int>(tiers_.size()) - 1);
   }
 
-  Arena& arena(Tier t) { return t == Tier::kDram ? *dram_ : *nvm_; }
-  const Arena& arena(Tier t) const { return t == Tier::kDram ? *dram_ : *nvm_; }
+  const TierConfig& tier_config(Tier t) const {
+    return tiers_[static_cast<std::size_t>(tier_index(t))];
+  }
+
+  Arena& arena(Tier t) {
+    return *arenas_[static_cast<std::size_t>(tier_index(t))];
+  }
+  const Arena& arena(Tier t) const {
+    return *arenas_[static_cast<std::size_t>(tier_index(t))];
+  }
 
   /// Allocate in the requested tier; nullptr if it does not fit.
   void* allocate(Tier t, std::size_t bytes) { return arena(t).allocate(bytes); }
   void deallocate(Tier t, void* p) { arena(t).deallocate(p); }
 
-  /// Which tier owns pointer `p`?  Aborts if neither does.
+  /// Which tier owns pointer `p`?  Aborts if none does.
   Tier tier_of(const void* p) const;
 
   /// Modeled seconds to copy `bytes` from `from` to `to`: limited by the
@@ -72,9 +99,9 @@ class HeteroMemory {
   double copy_bandwidth(Tier from, Tier to) const;
 
  private:
-  HmsConfig cfg_;
-  std::unique_ptr<Arena> dram_;
-  std::unique_ptr<Arena> nvm_;
+  HmsConfig cfg_;  ///< synthesized {tiers_.front(), tiers_.back()} view
+  std::vector<TierConfig> tiers_;
+  std::vector<std::unique_ptr<Arena>> arenas_;
 };
 
 }  // namespace unimem::mem

@@ -9,10 +9,21 @@
 // We model a tier with four numbers (read/write latency, read/write
 // bandwidth) and provide both the published Table 1 presets and the
 // ratio-derived configurations the evaluation actually uses.
+//
+// Beyond the paper's DRAM+NVM pair, a TopologyConfig describes an ordered
+// N-tier machine (HBM above DRAM, CXL-attached far memory, remote-node
+// pools).  Tier *backends* are registration-based — named factories behind
+// one interface, the way FreeBSD's pluggable TCP stacks register alternative
+// implementations (sys/netinet/tcp_stacks) — so new tier kinds plug in
+// without touching the simulator: register_tier_backend("mytier", fn) makes
+// "mytier:64MiB" parseable by parse_topology() and usable from the
+// `unimem_sweep --tiers` CLI.
 #pragma once
 
 #include <cstddef>
+#include <functional>
 #include <string>
+#include <vector>
 
 #include "common/units.h"
 
@@ -51,7 +62,68 @@ struct TierConfig {
   static TierConfig nvm_numa_emulated(std::size_t capacity) {
     return nvm_scaled(capacity, 0.60, 1.89);
   }
+
+  /// On-package high-bandwidth memory above DRAM (MCDRAM/HBM2-class): ~4x
+  /// DRAM bandwidth at slightly worse load-to-use latency.
+  static TierConfig hbm(std::size_t capacity) {
+    return TierConfig{"HBM", capacity, unimem::ns(100), unimem::ns(100),
+                      unimem::gbps(51.2), unimem::gbps(38.4)};
+  }
+
+  /// CXL-attached far memory: the protocol hop costs ~3x DRAM latency and
+  /// the link sustains about half the local bandwidth.
+  static TierConfig cxl(std::size_t capacity) {
+    return TierConfig{"CXL", capacity, unimem::ns(250), unimem::ns(250),
+                      unimem::gbps(6.4), unimem::gbps(4.8)};
+  }
+
+  /// Remote-node memory reached over the fabric (RDMA-class): microsecond
+  /// latency, a few GB/s of sustained bandwidth.
+  static TierConfig remote(std::size_t capacity) {
+    return TierConfig{"remote", capacity, unimem::ns(1500), unimem::ns(1500),
+                      unimem::gbps(2.5), unimem::gbps(2.5)};
+  }
 };
+
+/// An ordered multi-tier machine.  Index 0 is the fastest tier (initial
+/// placement promotes there); the LAST tier is the unconstrained backstop
+/// where every object starts and evictions land — the role NVM plays in the
+/// paper's two-tier machine.  `tiers.size() >= 2` always.
+struct TopologyConfig {
+  std::vector<TierConfig> tiers;
+
+  std::size_t num_tiers() const { return tiers.size(); }
+
+  /// Paper machine as a topology: {DRAM, NVM}.
+  static TopologyConfig dram_nvm(TierConfig dram, TierConfig nvm) {
+    return TopologyConfig{{std::move(dram), std::move(nvm)}};
+  }
+};
+
+// ---------------------------------------------------------------------------
+// Pluggable tier backends (registration-based, FreeBSD tcp_stacks style).
+
+/// Builds a TierConfig of the backend's kind at the requested capacity.
+using TierFactory = std::function<TierConfig(std::size_t capacity_bytes)>;
+
+/// Register a named backend; returns false (and changes nothing) when the
+/// name is already taken.  Built-ins ("dram", "hbm", "cxl", "nvm",
+/// "remote") are pre-registered.  Thread-safe.
+bool register_tier_backend(const std::string& name, TierFactory factory);
+
+/// Look up a backend by name; empty function when unknown.  Thread-safe.
+TierFactory find_tier_backend(const std::string& name);
+
+/// Registered backend names, sorted (for --help / error messages).
+std::vector<std::string> tier_backend_names();
+
+/// Parse a topology spec "name:capacity,name:capacity,..." — e.g.
+/// "hbm:1MiB,dram:4MiB,nvm:512MiB" — into an ordered TopologyConfig via the
+/// backend registry.  Capacities accept KiB/MiB/GiB suffixes (or plain
+/// bytes).  Order is fastest-first; the last entry is the backstop tier.
+/// Throws std::invalid_argument on unknown backends, bad capacities, or
+/// fewer than two tiers.
+TopologyConfig parse_topology(const std::string& spec);
 
 /// A published NVM technology data point (paper Table 1).  Latencies and
 /// bandwidths are ranges for PCRAM/ReRAM; lo == hi for point values.

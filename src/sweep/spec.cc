@@ -40,17 +40,38 @@ struct AxisSensitivity {
   bool techniques;  ///< Unimem switch sets
   bool profiler;    ///< profiler_periods (only Unimem profiles online)
   bool dag;         ///< dag_schedules (only Unimem plans migrations)
+  bool tiers;       ///< topologies (the DRAM-only machine ignores the ladder)
 };
 
 AxisSensitivity sensitivity(exp::Policy p) {
   switch (p) {
-    case exp::Policy::kDramOnly: return {false, false, false, false, false};
-    case exp::Policy::kNvmOnly: return {true, false, false, false, false};
-    case exp::Policy::kUnimem: return {true, true, true, true, true};
+    case exp::Policy::kDramOnly:
+      return {false, false, false, false, false, false};
+    case exp::Policy::kNvmOnly: return {true, false, false, false, false, true};
+    case exp::Policy::kUnimem: return {true, true, true, true, true, true};
     case exp::Policy::kXMen:
-    case exp::Policy::kManual: return {true, true, false, false, false};
+    case exp::Policy::kManual:
+      return {true, true, false, false, false, true};
   }
-  return {true, true, true, true, true};
+  return {true, true, true, true, true, true};
+}
+
+/// Compact label segment for a topology spec: "hbm:1MiB,dram:4MiB" ->
+/// "hbm1M-dram4M"; "" (the classic 2-tier machine) -> "classic".
+std::string topology_slug(const std::string& topo) {
+  if (topo.empty()) return "classic";
+  std::string out;
+  for (std::size_t i = 0; i < topo.size(); ++i) {
+    const char c = topo[i];
+    if (c == ':') continue;
+    if (c == ',') {
+      out += '-';
+      continue;
+    }
+    if (c == 'i' || c == 'B') continue;  // MiB/KiB/GiB -> M/K/G
+    out += c;
+  }
+  return out;
 }
 
 template <typename T>
@@ -80,6 +101,7 @@ std::vector<SweepPoint> SweepSpec::expand(const std::string& filter) const {
       const auto profs =
           sens.profiler ? profiler_periods : first_of(profiler_periods);
       const auto dags = sens.dag ? dag_schedules : first_of(dag_schedules);
+      const auto topos = sens.tiers ? topologies : first_of(topologies);
       for (double bw : bws) {
         for (double lat : lats) {
           for (std::size_t dram : drams) {
@@ -87,6 +109,7 @@ std::vector<SweepPoint> SweepSpec::expand(const std::string& filter) const {
               for (const TechniqueSet& tech : techs) {
                 for (std::uint64_t prof : profs) {
                  for (rt::DagSchedule dag : dags) {
+                 for (const std::string& topo : topos) {
                   SweepPoint p;
                   p.index = index++;
                   p.cfg.workload = w;
@@ -114,6 +137,7 @@ std::vector<SweepPoint> SweepSpec::expand(const std::string& filter) const {
                     p.cfg.unimem.sample_period_mult = prof;
                   }
                   p.cfg.unimem.dag_schedule = dag;
+                  p.cfg.tiers = topo;
                   p.normalize = normalize;
 
                   p.axis["workload"] = w;
@@ -142,15 +166,19 @@ std::vector<SweepPoint> SweepSpec::expand(const std::string& filter) const {
                         !sens.dag
                             ? "*"
                             : dag == rt::DagSchedule::kSlack ? "slack" : "off";
+                  if (topologies.size() > 1)
+                    p.axis["tiers"] =
+                        sens.tiers ? topology_slug(topo) : "*";
 
                   p.label = w + "/" + p.axis["policy"];
-                  for (const char* key :
-                       {"bw", "lat", "dram", "rpn", "tech", "prof", "dag"}) {
+                  for (const char* key : {"bw", "lat", "dram", "rpn", "tech",
+                                          "prof", "dag", "tiers"}) {
                     auto it = p.axis.find(key);
                     if (it != p.axis.end() && it->second != "*")
                       p.label += "/" + std::string(key) + it->second;
                   }
                   emit(p);
+                 }
                  }
                 }
               }
@@ -176,6 +204,37 @@ std::vector<SweepPoint> SweepSpec::expand(const std::string& filter) const {
 }
 
 std::size_t SweepSpec::size() const { return expand().size(); }
+
+std::vector<std::string> SweepSpec::axis_names() const {
+  std::vector<std::string> out;
+  auto add = [&](const char* n) {
+    if (std::find(out.begin(), out.end(), n) == out.end())
+      out.push_back(n);
+  };
+  if (workloads.size() > 1) add("workload");
+  if (policies.size() > 1) add("policy");
+  if (nvm_bw_ratios.size() > 1) add("bw");
+  if (nvm_lat_mults.size() > 1) add("lat");
+  if (dram_capacities.size() > 1) add("dram");
+  if (ranks_per_node.size() > 1) add("rpn");
+  if (techniques.size() > 1) add("tech");
+  if (profiler_periods.size() > 1) add("prof");
+  if (dag_schedules.size() > 1) add("dag");
+  if (topologies.size() > 1) add("tiers");
+  // Explicit points contribute whatever pivot keys they carry (fig4's
+  // "placement", fig12's "ranks", ...) — appended sorted after the grid
+  // axes so the listing stays deterministic.
+  std::vector<std::string> extra;
+  for (const ExplicitPoint& e : explicit_points)
+    for (const auto& [k, v] : e.axis) {
+      if (std::find(out.begin(), out.end(), k) != out.end()) continue;
+      if (std::find(extra.begin(), extra.end(), k) != extra.end()) continue;
+      extra.push_back(k);
+    }
+  std::sort(extra.begin(), extra.end());
+  for (std::string& k : extra) out.push_back(std::move(k));
+  return out;
+}
 
 std::vector<SweepPoint> shard_slice(const std::vector<SweepPoint>& points,
                                     int shard, int nshards) {
@@ -431,6 +490,31 @@ SweepSpec make_spec(const std::string& name) {
     s.dram_capacities = {1 * kMiB, 2 * kMiB, 4 * kMiB};
     s.dag_schedules = {rt::DagSchedule::kOff, rt::DagSchedule::kSlack};
     s.normalize = false;
+  } else if (name == "tier_sensitivity3") {
+    // Fig. 13-style sensitivity on a 3-tier machine (not a paper figure):
+    // HBM+DRAM+NVM ladders whose fast-tier allowances scale together, so
+    // the "tiers" column plays the role Fig. 13's DRAM-size axis plays on
+    // the 2-tier machine.  NVM-only rows are the ladder's no-placement
+    // control (everything sits in the backstop regardless of the ladder).
+    s.title = "3-tier sensitivity: Unimem vs HBM+DRAM allowance";
+    s.workloads = {"cg", "lu", "nek"};
+    s.policies = {exp::Policy::kNvmOnly, exp::Policy::kUnimem};
+    s.topologies = {"hbm:1MiB,dram:4MiB,nvm:512MiB",
+                    "hbm:2MiB,dram:8MiB,nvm:512MiB",
+                    "hbm:4MiB,dram:16MiB,nvm:512MiB"};
+  } else if (name == "tier_ladder") {
+    // Tier-ladder ablation (not a paper figure): the same workloads on the
+    // classic 2-tier DRAM+NVM machine, a 3-tier HBM ladder, and a 4-tier
+    // ladder that adds a CXL rung between DRAM and NVM.  The HBM+DRAM
+    // allowance (10 MiB) stays comparable to the classic 8 MiB DRAM
+    // allowance, so column differences isolate what an extra rung buys
+    // (or costs) the multiple-choice placement.
+    s.title = "Tier-ladder ablation: 2-, 3- and 4-tier machines";
+    s.workloads = {"cg", "mg"};
+    s.policies = {exp::Policy::kNvmOnly, exp::Policy::kUnimem};
+    s.topologies = {"",
+                    "hbm:2MiB,dram:8MiB,nvm:512MiB",
+                    "hbm:2MiB,dram:8MiB,cxl:32MiB,nvm:512MiB"};
   } else if (name == "table4") {
     // Raw migration statistics (not normalized): one Unimem point per
     // workload at NVM = 1/2 bandwidth; the harness reads the row's
@@ -447,7 +531,8 @@ SweepSpec make_spec(const std::string& name) {
 std::vector<std::string> spec_names() {
   return {"fig2",  "fig3",  "fig4",   "fig9",         "fig10",
           "fig11", "fig12", "fig13",  "table4",       "replan_drift",
-          "profiler_fidelity", "service_stress", "dag_slack"};
+          "profiler_fidelity", "service_stress", "dag_slack",
+          "tier_sensitivity3", "tier_ladder"};
 }
 
 std::optional<SweepSpec> spec_by_name(const std::string& name) {

@@ -72,6 +72,11 @@ struct SweepSpec {
   /// classic JIT triggers, kSlack = critical-path slack-scheduled
   /// triggers.  Only kUnimem points are sensitive.
   std::vector<rt::DagSchedule> dag_schedules{rt::DagSchedule::kOff};
+  /// Memory-topology axis (exp::RunConfig::tiers): each entry is a
+  /// parse_topology spec ("hbm:1MiB,dram:4MiB,nvm:512MiB") or "" for the
+  /// classic 2-tier machine built from the bw/lat/dram axes.  DRAM-only
+  /// points are insensitive (their machine ignores the ladder).
+  std::vector<std::string> topologies{""};
 
   // ---- shared scalars --------------------------------------------------
   char cls = 'C';
@@ -113,6 +118,12 @@ struct SweepSpec {
 
   /// Total point count of the unfiltered expansion.
   std::size_t size() const;
+
+  /// Names of the axes this spec actually varies (more than one value, or
+  /// contributed by explicit points), in label order — what `unimem_sweep
+  /// --list` prints so a reader can tell the sweep's shape from the
+  /// registry without expanding it.
+  std::vector<std::string> axis_names() const;
 };
 
 /// Deterministic shard slice, original order and indices preserved.  The

@@ -76,29 +76,45 @@ void Histogram::observe(double sample) {
 }
 
 std::string MetricsSnapshot::to_json() const {
+  // Built with append() rather than operator+ chains: some GCC releases
+  // mis-fire -Wrestrict (fatal under -Werror) on the char* + rvalue-string
+  // inlining path; appends produce the identical bytes.
   std::string out = "{\"counters\":{";
   bool first = true;
   for (const auto& [k, v] : counters) {
     if (!first) out += ",";
     first = false;
-    out += "\"" + json_escape(k) + "\":" + std::to_string(v);
+    out += "\"";
+    out += json_escape(k);
+    out += "\":";
+    out += std::to_string(v);
   }
   out += "},\"gauges\":{";
   first = true;
   for (const auto& [k, v] : gauges) {
     if (!first) out += ",";
     first = false;
-    out += "\"" + json_escape(k) + "\":" + json_number(v);
+    out += "\"";
+    out += json_escape(k);
+    out += "\":";
+    out += json_number(v);
   }
   out += "},\"histograms\":{";
   first = true;
   for (const auto& [k, h] : histograms) {
     if (!first) out += ",";
     first = false;
-    out += "\"" + json_escape(k) + "\":{\"count\":" + std::to_string(h.count) +
-           ",\"sum\":" + json_number(h.sum) +
-           ",\"min\":" + json_number(h.min) +
-           ",\"max\":" + json_number(h.max) + "}";
+    out += "\"";
+    out += json_escape(k);
+    out += "\":{\"count\":";
+    out += std::to_string(h.count);
+    out += ",\"sum\":";
+    out += json_number(h.sum);
+    out += ",\"min\":";
+    out += json_number(h.min);
+    out += ",\"max\":";
+    out += json_number(h.max);
+    out += "}";
   }
   out += "}}";
   return out;

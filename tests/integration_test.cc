@@ -138,5 +138,36 @@ TEST(Integration, UnimemCompetitiveWithXMenOnPhaseVaryingNek) {
   EXPECT_LT(uni.time_s, nvm.time_s);
 }
 
+TEST(Integration, ThreeTierTopologyRunsDeterministicallyWithSameChecksum) {
+  // An explicit HBM+DRAM+NVM ladder through the full runtime: the MCKP
+  // placement and multi-tier migration chains may never corrupt data
+  // (checksums match the classic 2-tier run) and must be deterministic
+  // across repeated runs.
+  RunConfig cfg = base_cfg("cg");
+  cfg.policy = Policy::kUnimem;
+  RunResult classic = run_once(cfg);
+  cfg.tiers = "hbm:1MiB,dram:2MiB,nvm:64MiB";
+  RunResult a = run_once(cfg);
+  RunResult b = run_once(cfg);
+  EXPECT_DOUBLE_EQ(a.checksum, classic.checksum);
+  EXPECT_DOUBLE_EQ(a.checksum, b.checksum);
+  EXPECT_DOUBLE_EQ(a.time_s, b.time_s);
+  EXPECT_EQ(a.total_migrations, b.total_migrations);
+  EXPECT_GT(a.time_s, 0.0);
+}
+
+TEST(Integration, TierLadderNeverSlowerThanBackstopOnly) {
+  // Giving the planner fast rungs cannot make things slower than leaving
+  // everything in the backstop (the NVM-only reading of the same ladder).
+  RunConfig cfg = base_cfg("mg");
+  cfg.tiers = "hbm:1MiB,dram:2MiB,nvm:64MiB";
+  cfg.policy = Policy::kNvmOnly;
+  RunResult backstop = run_once(cfg);
+  cfg.policy = Policy::kUnimem;
+  RunResult uni = run_once(cfg);
+  EXPECT_DOUBLE_EQ(uni.checksum, backstop.checksum);
+  EXPECT_LE(uni.time_s, backstop.time_s * 1.02);
+}
+
 }  // namespace
 }  // namespace unimem::exp

@@ -5,6 +5,8 @@
 
 #include <algorithm>
 #include <cstdint>
+#include <stdexcept>
+#include <utility>
 #include <vector>
 
 #include "common/rng.h"
@@ -204,6 +206,172 @@ TEST(Knapsack, HugeInstanceStaysFeasibleAndUseful) {
   for (const KnapsackItem& it : items)
     if (it.bytes <= capacity) best_single = std::max(best_single, it.weight);
   EXPECT_GE(r.total_weight, best_single - 1e-12);
+}
+
+// ---- multiple-choice knapsack (N-tier placement) ------------------------
+
+/// Exhaustive MCKP optimum: every item takes exactly one tier, every
+/// constrained tier's byte sum respects its capacity.  Assumes sizes and
+/// capacities are granule-aligned so the solver's quantization is exact.
+double mckp_brute_force(const std::vector<MckpItem>& items,
+                        const std::vector<std::size_t>& caps) {
+  const std::size_t T = caps.size();
+  const std::size_t n = items.size();
+  double best = -1e300;
+  std::vector<std::size_t> assign(n, 0);
+  while (true) {
+    double w = 0;
+    std::vector<std::size_t> used(T, 0);
+    for (std::size_t i = 0; i < n; ++i) {
+      w += items[i].weights[assign[i]];
+      used[assign[i]] += items[i].bytes;
+    }
+    bool ok = true;
+    for (std::size_t j = 0; j < T; ++j)
+      if (caps[j] != KnapsackSolver::kUnbounded && used[j] > caps[j])
+        ok = false;
+    if (ok && w > best) best = w;
+    std::size_t k = 0;
+    while (k < n && ++assign[k] == T) {
+      assign[k] = 0;
+      ++k;
+    }
+    if (k == n) break;
+  }
+  return best;
+}
+
+TEST(Mckp, ValidatesItemArity) {
+  KnapsackSolver s(64);
+  std::vector<MckpItem> items = {{{1.0, 0.5}, 64}, {{1.0}, 64}};
+  EXPECT_THROW(s.solve_mckp(items, {64, KnapsackSolver::kUnbounded}),
+               std::invalid_argument);
+}
+
+TEST(Mckp, RequiresAnUnboundedTier) {
+  KnapsackSolver s(64);
+  std::vector<MckpItem> items = {{{1.0, 0.5}, 64}};
+  EXPECT_THROW(s.solve_mckp(items, {64, 128}), std::invalid_argument);
+  EXPECT_THROW(s.solve_mckp({}, {}), std::invalid_argument);
+}
+
+TEST(Mckp, EmptyItems) {
+  KnapsackSolver s(64);
+  MckpResult r = s.solve_mckp({}, {64, KnapsackSolver::kUnbounded});
+  EXPECT_TRUE(r.choice.empty());
+  EXPECT_DOUBLE_EQ(r.total_weight, 0);
+}
+
+TEST(Mckp, AllTiersUnboundedPicksBestPerItem) {
+  KnapsackSolver s(64);
+  std::vector<MckpItem> items = {
+      {{1.0, 2.0, 0.5}, 64}, {{3.0, -1.0, 3.0}, 128}, {{-2.0, -1.0, -3.0}, 64}};
+  MckpResult r = s.solve_mckp(
+      items, {KnapsackSolver::kUnbounded, KnapsackSolver::kUnbounded,
+              KnapsackSolver::kUnbounded});
+  // Ties (item 1: tiers 0 and 2 both 3.0) resolve to the lowest index.
+  EXPECT_EQ(r.choice, (std::vector<int>{1, 0, 1}));
+  EXPECT_DOUBLE_EQ(r.total_weight, 2.0 + 3.0 + -1.0);
+}
+
+TEST(Mckp, TwoTierMatchesClassicKnapsack) {
+  // weights = {benefit, 0} over {DRAM cap, unbounded NVM} is exactly the
+  // paper's 0-1 knapsack; totals must agree with solve() on the same
+  // instance.
+  Rng rng(17);
+  for (int round = 0; round < 20; ++round) {
+    const int n = 3 + static_cast<int>(rng.below(8));
+    std::vector<KnapsackItem> classic;
+    std::vector<MckpItem> items;
+    for (int i = 0; i < n; ++i) {
+      const double w = rng.uniform(-0.2, 1.0);
+      const std::size_t bytes = 64 * (1 + rng.below(16));
+      classic.push_back(KnapsackItem{w, bytes});
+      items.push_back(MckpItem{{w, 0.0}, bytes});
+    }
+    const std::size_t cap = 64 * (1 + rng.below(64));
+    KnapsackSolver s(64);
+    MckpResult m = s.solve_mckp(items, {cap, KnapsackSolver::kUnbounded});
+    KnapsackResult k = s.solve(classic, cap);
+    EXPECT_NEAR(m.total_weight, k.total_weight, 1e-9) << "round " << round;
+  }
+}
+
+class MckpProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(MckpProperty, MatchesBruteForceOnRandomLadders) {
+  Rng rng(GetParam());
+  for (int round = 0; round < 15; ++round) {
+    const std::size_t T = 2 + rng.below(3);  // 2..4 tiers
+    const int n = 3 + static_cast<int>(rng.below(6));  // <= 8 items
+    std::vector<std::size_t> caps(T, 0);
+    caps[T - 1] = KnapsackSolver::kUnbounded;
+    for (std::size_t j = 0; j + 1 < T; ++j)
+      // Occasionally unbounded mid-ladder too (a huge uncontended rung).
+      caps[j] = rng.below(8) == 0 ? KnapsackSolver::kUnbounded
+                                  : 64 * (1 + rng.below(12));
+    std::vector<MckpItem> items;
+    for (int i = 0; i < n; ++i) {
+      MckpItem it;
+      for (std::size_t j = 0; j < T; ++j)
+        it.weights.push_back(rng.uniform(-0.5, 1.0));
+      it.bytes = 64 * (1 + rng.below(8));
+      items.push_back(std::move(it));
+    }
+    KnapsackSolver s(64);
+    MckpResult r = s.solve_mckp(items, caps);
+    // Feasible: every constrained tier within its capacity.
+    ASSERT_EQ(r.choice.size(), items.size());
+    std::vector<std::size_t> used(T, 0);
+    double w = 0;
+    for (std::size_t i = 0; i < items.size(); ++i) {
+      ASSERT_GE(r.choice[i], 0);
+      ASSERT_LT(static_cast<std::size_t>(r.choice[i]), T);
+      used[r.choice[i]] += items[i].bytes;
+      w += items[i].weights[r.choice[i]];
+    }
+    for (std::size_t j = 0; j < T; ++j) {
+      if (caps[j] != KnapsackSolver::kUnbounded) {
+        EXPECT_LE(used[j], caps[j]) << "round " << round << " tier " << j;
+      }
+    }
+    EXPECT_NEAR(w, r.total_weight, 1e-9);
+    // Optimal: instances are small + granule-aligned, so the dense DP
+    // runs and must match the exhaustive T^n optimum.
+    EXPECT_NEAR(r.total_weight, mckp_brute_force(items, caps), 1e-9)
+        << "round " << round << " (" << T << " tiers, " << n << " items)";
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, MckpProperty,
+                         ::testing::Values(7, 14, 21, 28, 35, 42));
+
+TEST(Mckp, WaterfallFallbackStaysFeasibleAndUseful) {
+  // Capacity x item-count past the dense-DP cell budget: the per-tier
+  // waterfall must still answer — feasible, and no worse than leaving
+  // every item on its best unbounded tier.
+  Rng rng(9);
+  std::vector<MckpItem> items;
+  for (int i = 0; i < 48; ++i)
+    items.push_back(MckpItem{{rng.uniform(0.0, 2.0), rng.uniform(0.0, 1.0),
+                              0.0},
+                             50000 + rng.below(2000000)});
+  const std::vector<std::size_t> caps = {1 << 21, 1 << 22,
+                                         KnapsackSolver::kUnbounded};
+  KnapsackSolver s(1);  // granule 1: far past kDenseDpCellBudget
+  MckpResult r = s.solve_mckp(items, caps);
+  ASSERT_EQ(r.choice.size(), items.size());
+  std::vector<std::size_t> used(3, 0);
+  double total = 0, floor = 0;
+  for (std::size_t i = 0; i < items.size(); ++i) {
+    used[r.choice[i]] += items[i].bytes;
+    total += items[i].weights[r.choice[i]];
+    floor += items[i].weights[2];  // best unbounded tier = the backstop
+  }
+  EXPECT_LE(used[0], caps[0]);
+  EXPECT_LE(used[1], caps[1]);
+  EXPECT_NEAR(total, r.total_weight, 1e-9);
+  EXPECT_GE(r.total_weight, floor - 1e-9);
 }
 
 }  // namespace

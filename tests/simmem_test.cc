@@ -1,8 +1,13 @@
 // Tests for the tiered-memory substrate: arena allocator invariants,
-// tier configs (Table 1), the HMS copy model, and the DRAM arbiter.
+// tier configs (Table 1), the HMS copy model, the DRAM arbiter, and the
+// N-tier topology layer (backend registry, parse_topology, per-tier
+// arbiter allowances).
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <atomic>
 #include <cstring>
+#include <stdexcept>
 #include <thread>
 #include <vector>
 
@@ -194,6 +199,93 @@ TEST(DramArbiter, EnforcesAllowance) {
   arb.release(512 * kKiB);
   EXPECT_TRUE(arb.request(256 * kKiB));
   EXPECT_EQ(arb.granted(), 768 * kKiB);
+}
+
+TEST(TierBackends, BuiltinsRegisteredAndLookupWorks) {
+  const std::vector<std::string> names = tier_backend_names();
+  for (const char* want : {"cxl", "dram", "hbm", "nvm", "remote"})
+    EXPECT_NE(std::find(names.begin(), names.end(), want), names.end())
+        << want;
+  TierFactory f = find_tier_backend("hbm");
+  ASSERT_TRUE(f);
+  const TierConfig t = f(kMiB);
+  EXPECT_EQ(t.capacity_bytes, kMiB);
+  EXPECT_DOUBLE_EQ(t.read_bw, TierConfig::hbm(kMiB).read_bw);
+  EXPECT_FALSE(find_tier_backend("no-such-backend"));
+}
+
+TEST(TierBackends, RegistrationRejectsDuplicates) {
+  auto toy = [](std::size_t cap) { return TierConfig::dram_basis(cap); };
+  EXPECT_TRUE(register_tier_backend("simmem-test-toy", toy));
+  EXPECT_FALSE(register_tier_backend("simmem-test-toy", toy));  // taken
+  EXPECT_FALSE(register_tier_backend("dram", toy));             // built-in
+  // The registered backend is immediately parseable.
+  TopologyConfig topo = parse_topology("simmem-test-toy:1MiB,nvm:4MiB");
+  ASSERT_EQ(topo.num_tiers(), 2u);
+  EXPECT_EQ(topo.tiers[0].capacity_bytes, kMiB);
+}
+
+TEST(ParseTopology, LaddersSuffixesAndErrors) {
+  TopologyConfig topo = parse_topology("hbm:1MiB,dram:4MiB,nvm:512MiB");
+  ASSERT_EQ(topo.num_tiers(), 3u);
+  EXPECT_EQ(topo.tiers[0].name, "HBM");
+  EXPECT_EQ(topo.tiers[0].capacity_bytes, kMiB);
+  EXPECT_EQ(topo.tiers[1].name, "DRAM");
+  EXPECT_EQ(topo.tiers[1].capacity_bytes, 4 * kMiB);
+  EXPECT_EQ(topo.tiers[2].capacity_bytes, 512 * kMiB);
+  // KiB/GiB suffixes and plain bytes.
+  EXPECT_EQ(parse_topology("dram:64KiB,nvm:1GiB").tiers[0].capacity_bytes,
+            64 * kKiB);
+  EXPECT_EQ(parse_topology("dram:4096,nvm:1MiB").tiers[0].capacity_bytes,
+            4096u);
+  EXPECT_THROW(parse_topology(""), std::invalid_argument);
+  EXPECT_THROW(parse_topology("dram:1MiB"), std::invalid_argument);  // < 2
+  EXPECT_THROW(parse_topology("bogus:1MiB,nvm:1MiB"), std::invalid_argument);
+  EXPECT_THROW(parse_topology("dram:xx,nvm:1MiB"), std::invalid_argument);
+}
+
+TEST(HeteroMemory, NTierTopologyAllocationAndBackstop) {
+  TopologyConfig topo = parse_topology("hbm:1MiB,dram:2MiB,nvm:16MiB");
+  HeteroMemory hms(topo);
+  EXPECT_EQ(hms.num_tiers(), 3u);
+  EXPECT_EQ(hms.backstop_tier(), tier(2));
+  // The synthesized 2-tier view pairs the fastest tier with the backstop.
+  EXPECT_DOUBLE_EQ(hms.config().dram.read_bw, TierConfig::hbm(0).read_bw);
+  EXPECT_EQ(hms.config().nvm.capacity_bytes, 16 * kMiB);
+  // Every tier allocates from its own arena and tier_of() round-trips.
+  for (int k = 0; k < 3; ++k) {
+    void* p = hms.allocate(tier(k), 1000);
+    ASSERT_NE(p, nullptr) << "tier " << k;
+    EXPECT_EQ(hms.tier_of(p), tier(k));
+    hms.deallocate(tier(k), p);
+  }
+  // Copy cost between adjacent tiers is limited by the slower endpoint.
+  const double down = hms.copy_seconds(kMiB, tier(0), tier(2));
+  EXPECT_NEAR(down,
+              static_cast<double>(kMiB) / hms.tier_config(tier(2)).write_bw,
+              1e-12);
+}
+
+TEST(DramArbiter, PerTierAllowances) {
+  DramArbiter arb({kMiB, 2 * kMiB, DramArbiter::kUnbounded});
+  EXPECT_TRUE(arb.constrains(0));
+  EXPECT_TRUE(arb.constrains(1));
+  EXPECT_FALSE(arb.constrains(2));   // explicit kUnbounded
+  EXPECT_FALSE(arb.constrains(7));   // past the vector: unmetered
+  EXPECT_FALSE(arb.constrains(-1));
+  // Tiers meter independently.
+  EXPECT_TRUE(arb.request_tier(0, kMiB));
+  EXPECT_FALSE(arb.request_tier(0, 1));
+  EXPECT_TRUE(arb.request_tier(1, 2 * kMiB));
+  EXPECT_FALSE(arb.request_tier(1, 1));
+  EXPECT_TRUE(arb.request_tier(2, std::size_t{1} << 40));  // never refused
+  arb.release_tier(1, kMiB);
+  EXPECT_TRUE(arb.request_tier(1, kMiB));
+  EXPECT_EQ(arb.granted_tier(1), 2 * kMiB);
+  EXPECT_EQ(arb.allowance_tier(2), DramArbiter::kUnbounded);
+  // The tier-0 shorthands stay the 2-tier reading.
+  EXPECT_EQ(arb.granted(), kMiB);
+  EXPECT_EQ(arb.available(), 0u);
 }
 
 TEST(DramArbiter, ConcurrentRequestsStayBounded) {

@@ -122,6 +122,67 @@ TEST(SweepSpec, ProfilerAxisOnlyMultipliesUnimemPoints) {
   EXPECT_EQ(nvm_points, 1u);
 }
 
+TEST(SweepSpec, TopologyAxisExpandsAndCollapses) {
+  SweepSpec s = *spec_by_name("tier_ladder");
+  const auto points = s.expand();
+  // 2 workloads x 2 policies x 3 topologies; both policies are
+  // tier-sensitive, so nothing collapses.
+  EXPECT_EQ(points.size(), 2u * 2u * 3u);
+  std::set<std::string> slugs;
+  for (const auto& p : points) {
+    slugs.insert(p.axis.at("tiers"));
+    if (p.axis.at("tiers") == "classic") {
+      EXPECT_TRUE(p.cfg.tiers.empty());
+    } else {
+      EXPECT_FALSE(p.cfg.tiers.empty());
+    }
+  }
+  EXPECT_EQ(slugs, (std::set<std::string>{"classic", "hbm2M-dram8M-nvm512M",
+                                          "hbm2M-dram8M-cxl32M-nvm512M"}));
+
+  // A DRAM-only policy ignores the ladder entirely (its machine runs at
+  // DRAM speed everywhere): the axis collapses to the first topology.
+  SweepSpec mixed = s;
+  mixed.workloads = {"cg"};
+  mixed.policies = {exp::Policy::kDramOnly, exp::Policy::kUnimem};
+  std::size_t dram_points = 0;
+  for (const auto& p : mixed.expand()) {
+    if (p.axis.at("policy") == "dram-only") {
+      ++dram_points;
+      EXPECT_EQ(p.axis.at("tiers"), "*");
+      EXPECT_EQ(p.cfg.tiers, mixed.topologies.front());
+    } else {
+      EXPECT_NE(p.axis.at("tiers"), "*");
+    }
+  }
+  EXPECT_EQ(dram_points, 1u);
+}
+
+TEST(SweepSpec, TierSensitivity3IsAFig13ShapedGrid) {
+  SweepSpec s = *spec_by_name("tier_sensitivity3");
+  const auto points = s.expand();
+  EXPECT_EQ(points.size(), 3u * 2u * 3u);
+  for (const auto& p : points) {
+    // Every point runs an explicit 3-tier ladder (no classic rung here).
+    ASSERT_FALSE(p.cfg.tiers.empty()) << p.label;
+    EXPECT_EQ(p.cfg.tiers.find("hbm:"), 0u) << p.label;
+  }
+}
+
+TEST(SweepSpec, AxisNamesReportTheVariedAxes) {
+  EXPECT_EQ(spec_by_name("fig13")->axis_names(),
+            (std::vector<std::string>{"workload", "policy", "dram"}));
+  EXPECT_EQ(spec_by_name("tier_ladder")->axis_names(),
+            (std::vector<std::string>{"workload", "policy", "tiers"}));
+  EXPECT_EQ(spec_by_name("table4")->axis_names(),
+            (std::vector<std::string>{"workload"}));
+  // Explicit-only specs report their per-point pivot keys, sorted.
+  EXPECT_EQ(spec_by_name("fig12")->axis_names(),
+            (std::vector<std::string>{"ranks"}));
+  EXPECT_EQ(spec_by_name("fig4")->axis_names(),
+            (std::vector<std::string>{"cls", "nvm", "placement"}));
+}
+
 TEST(SweepSpec, FilterKeepsOriginalIndices) {
   SweepSpec s = *spec_by_name("fig2");
   const auto all = s.expand();
@@ -162,7 +223,7 @@ TEST(SweepSpec, SmokeClampAlsoClampsExplicitPoints) {
 }
 
 TEST(SweepSpec, EveryRegisteredSpecExpands) {
-  EXPECT_EQ(spec_names().size(), 13u);
+  EXPECT_EQ(spec_names().size(), 15u);
   for (const std::string& name : spec_names()) {
     auto s = spec_by_name(name);
     ASSERT_TRUE(s.has_value()) << name;

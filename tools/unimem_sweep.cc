@@ -59,6 +59,7 @@
 #include "sweep/coordinator.h"
 #include "sweep/engine.h"
 #include "sweep/launcher.h"
+#include "simmem/tier_config.h"
 #include "sweep/result_store.h"
 #include "sweep/spec.h"
 #include "trace/export.h"
@@ -123,6 +124,10 @@ void usage(std::FILE* out) {
       "                       sampled with base period N (collapses the prof axis)\n"
       "  --dag off|slack      override the spec's phase-DAG scheduling mode\n"
       "                       (collapses the dag axis)\n"
+      "  --tiers SPEC         override the spec's memory topology: a\n"
+      "                       parse_topology ladder such as\n"
+      "                       hbm:1MiB,dram:4MiB,nvm:512MiB, or 'classic' for\n"
+      "                       the 2-tier machine (collapses the tiers axis)\n"
       "  --retries N          re-run failed points up to N times with capped\n"
       "                       deterministic exponential backoff\n"
       "  --launcher KIND      service mode: dispatch via a coordinator; KIND is\n"
@@ -191,6 +196,8 @@ struct Args {
   std::string filter;
   std::string profiler;  ///< --profiler exact|N ("" = spec default)
   std::string dag;       ///< --dag off|slack ("" = spec default)
+  std::string tiers;     ///< --tiers SPEC|classic ("" = spec default)
+  bool have_tiers = false;
   std::string csv, jsonl, summary_json;
   std::string launcher;   ///< "" = engine mode; inproc|fork|cmd[:PREFIX]
   std::string task_meta;  ///< --task-meta sidecar path ("" = none)
@@ -269,6 +276,23 @@ bool parse(int argc, char** argv, Args& a) {
                      "unimem_sweep: --dag wants 'off' or 'slack' (got '%s')\n",
                      v);
         return false;
+      }
+    } else if (arg == "--tiers") {
+      const char* v = value("--tiers");
+      if (v == nullptr) return false;
+      a.have_tiers = true;
+      a.tiers = v;
+      if (a.tiers == "classic") a.tiers.clear();
+      if (!a.tiers.empty()) {
+        try {
+          (void)unimem::mem::parse_topology(a.tiers);
+        } catch (const std::exception& e) {
+          std::fprintf(stderr,
+                       "unimem_sweep: --tiers wants 'classic' or a topology "
+                       "like hbm:1MiB,dram:4MiB,nvm:512MiB (%s)\n",
+                       e.what());
+          return false;
+        }
       }
     } else if (arg == "--csv") {
       const char* v = value("--csv");
@@ -500,11 +524,18 @@ int run_cli(int argc, char** argv) {
   }
 
   if (a.list) {
-    std::printf("%-18s %-7s %s\n", "spec", "points", "title");
+    std::printf("%-18s %-7s %-32s %s\n", "spec", "points", "axes", "title");
     for (const std::string& name : sweep::spec_names()) {
       sweep::SweepSpec s = *sweep::spec_by_name(name);
       if (a.smoke || sweep::smoke_requested()) s = sweep::smoke_clamped(s);
-      std::printf("%-18s %-7zu %s\n", name.c_str(), s.size(), s.title.c_str());
+      std::string axes;
+      for (const std::string& ax : s.axis_names()) {
+        if (!axes.empty()) axes += ',';
+        axes += ax;
+      }
+      if (axes.empty()) axes = "-";
+      std::printf("%-18s %-7zu %-32s %s\n", name.c_str(), s.size(),
+                  axes.c_str(), s.title.c_str());
     }
     return 0;
   }
@@ -586,6 +617,11 @@ int run_cli(int argc, char** argv) {
     // Collapse the phase-DAG scheduling axis to the requested value.
     spec->dag_schedules = {a.dag == "slack" ? rt::DagSchedule::kSlack
                                             : rt::DagSchedule::kOff};
+  }
+  if (a.have_tiers) {
+    // Collapse the memory-topology axis to the requested ladder ("" after
+    // parse() = the classic 2-tier machine).
+    spec->topologies = {a.tiers};
   }
 
   auto points = spec->expand(a.filter);
@@ -729,6 +765,10 @@ int run_cli(int argc, char** argv) {
         if (!args_copy.dag.empty()) {
           v.push_back("--dag");
           v.push_back(args_copy.dag);
+        }
+        if (args_copy.have_tiers) {
+          v.push_back("--tiers");
+          v.push_back(args_copy.tiers.empty() ? "classic" : args_copy.tiers);
         }
         v.push_back("--jobs");
         v.push_back(std::to_string(t.engine.jobs));
